@@ -1,0 +1,74 @@
+// Design-choice ablation (Sec 4 "Theory-Guided Practice", Sec 3.5): sweep
+// the digit width γ and the base-case threshold θ around the
+// theory-guided defaults (γ = Θ(sqrt(log r)) clamped to [8,12], θ = 2^14)
+// and show that the defaults sit at/near the optimum — the empirical
+// counterpart of the paper's claim that its analysis explains the
+// parameter choices of practical MSD sorts.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "dovetail/core/dovetail_sort.hpp"
+
+using dovetail::dovetail_sort;
+using dovetail::kv32;
+using dovetail::sort_options;
+namespace gen = dovetail::gen;
+
+namespace {
+
+const std::vector<gen::distribution>& instances() {
+  static const std::vector<gen::distribution> d = {
+      {gen::dist_kind::uniform, 1e9, "Unif-1e9"},
+      {gen::dist_kind::zipfian, 1.2, "Zipf-1.2"},
+  };
+  return d;
+}
+
+void register_cell(const gen::distribution& d, std::size_t n,
+                   const sort_options& opt, const std::string& col) {
+  const std::string name = "Ablation/" + d.name + "/" + col;
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [d, n, opt, col](benchmark::State& st) {
+        const auto& input = dtb::cached_input<kv32>(d, n);
+        dtb::run_timed_iterations(
+            st, input,
+            [&](std::span<kv32> s) {
+              dovetail_sort(s, dovetail::key_of_kv32, opt);
+            },
+            d.name, col);
+      })
+      ->UseManualTime()
+      ->Iterations(dtb::bench_reps())
+      ->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  const std::size_t n = dtb::bench_n();
+  for (const auto& d : instances()) {
+    for (int gamma : {4, 6, 8, 10, 12}) {
+      sort_options o;
+      o.gamma = gamma;
+      register_cell(d, n, o, "g=" + std::to_string(gamma));
+    }
+    for (int logt : {8, 11, 14, 16}) {
+      sort_options o;
+      o.base_case = std::size_t{1} << logt;
+      register_cell(d, n, o, "t=2^" + std::to_string(logt));
+    }
+    sort_options nooverflow;
+    nooverflow.skip_leading_bits = false;
+    register_cell(d, n, nooverflow, "no-ovf");
+    register_cell(d, n, {}, "default");
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  dtb::global_results().print(
+      "Parameter ablation: digit width g, base case t, overflow-bucket "
+      "optimization; n=" + std::to_string(n),
+      /*heatmap=*/false);
+  benchmark::Shutdown();
+  return 0;
+}

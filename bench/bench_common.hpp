@@ -1,0 +1,209 @@
+// Shared infrastructure for the benchmark harness: input caching, manual
+// timing, and paper-style result tables (absolute seconds + the
+// relative-to-best heatmap of Fig 1, with the geometric-mean row of Tab 3).
+//
+// Scale knobs (environment variables):
+//   DTBENCH_N     records per instance          (default 2,000,000)
+//   DTBENCH_REPS  timed repetitions, median kept (default 3)
+// The paper runs n = 1e9 on 96 cores; the defaults here target a laptop.
+// Absolute times differ; the relative shapes are what the harness reports.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dovetail/generators/synthetic.hpp"
+#include "dovetail/parallel/scheduler.hpp"
+#include "dovetail/util/algorithms.hpp"
+#include "dovetail/util/record.hpp"
+#include "dovetail/util/timer.hpp"
+
+namespace dtb {
+
+inline std::size_t env_size(const char* name, std::size_t dflt) {
+  if (const char* v = std::getenv(name)) {
+    char* end = nullptr;
+    const double x = std::strtod(v, &end);
+    if (end != v && x >= 1) return static_cast<std::size_t>(x);
+  }
+  return dflt;
+}
+
+inline std::size_t bench_n() {
+  static const std::size_t n = env_size("DTBENCH_N", 4'000'000);
+  return n;
+}
+
+inline int bench_reps() {
+  static const int r = static_cast<int>(env_size("DTBENCH_REPS", 3));
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Input cache: one pristine copy per (record type, instance name, n).
+
+template <typename Rec>
+const std::vector<Rec>& cached_input(const dovetail::gen::distribution& d,
+                                     std::size_t n, std::uint64_t seed = 1) {
+  static std::map<std::string, std::unique_ptr<std::vector<Rec>>> cache;
+  const std::string key =
+      d.name + "/" + std::to_string(n) + "/" + std::to_string(seed);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    auto v = std::make_unique<std::vector<Rec>>(
+        dovetail::gen::generate_records<Rec>(d, n, seed));
+    it = cache.emplace(key, std::move(v)).first;
+  }
+  return *it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Result table with paper-style printing.
+
+class result_table {
+ public:
+  void add(const std::string& row, const std::string& col, double seconds) {
+    if (std::find(rows_.begin(), rows_.end(), row) == rows_.end())
+      rows_.push_back(row);
+    if (std::find(cols_.begin(), cols_.end(), col) == cols_.end())
+      cols_.push_back(col);
+    cells_[row][col] = seconds;
+  }
+
+  [[nodiscard]] bool empty() const { return rows_.empty(); }
+
+  // Prints absolute seconds, then (optionally) the relative-to-best heatmap
+  // (Fig 1) and a geometric-mean summary row ("Avg." in Tab 3).
+  void print(const std::string& title, bool heatmap = true) const {
+    std::printf("\n=== %s ===\n", title.c_str());
+    std::printf("%-14s", "Instance");
+    for (const auto& c : cols_) std::printf("%10s", c.c_str());
+    std::printf("\n");
+    for (const auto& r : rows_) {
+      std::printf("%-14s", r.c_str());
+      for (const auto& c : cols_) print_cell(r, c, false);
+      std::printf("\n");
+    }
+    print_geomean(false);
+    if (!heatmap) return;
+    std::printf("--- relative to best per instance (Fig 1 heatmap) ---\n");
+    for (const auto& r : rows_) {
+      std::printf("%-14s", r.c_str());
+      for (const auto& c : cols_) print_cell(r, c, true);
+      std::printf("\n");
+    }
+    print_geomean(true);
+  }
+
+ private:
+  [[nodiscard]] double best_in_row(const std::string& r) const {
+    double best = 0;
+    auto rit = cells_.find(r);
+    for (const auto& [c, v] : rit->second)
+      if (best == 0 || v < best) best = v;
+    return best;
+  }
+
+  void print_cell(const std::string& r, const std::string& c,
+                  bool relative) const {
+    auto rit = cells_.find(r);
+    auto cit = rit->second.find(c);
+    if (cit == rit->second.end()) {
+      std::printf("%10s", "-");
+      return;
+    }
+    if (relative)
+      std::printf("%10.2f", cit->second / best_in_row(r));
+    else
+      std::printf("%10.3f", cit->second);
+  }
+
+  void print_geomean(bool relative) const {
+    std::printf("%-14s", "Avg.(geo)");
+    for (const auto& c : cols_) {
+      double logsum = 0;
+      int count = 0;
+      for (const auto& r : rows_) {
+        auto cit = cells_.at(r).find(c);
+        if (cit == cells_.at(r).end()) continue;
+        const double v =
+            relative ? cit->second / best_in_row(r) : cit->second;
+        logsum += std::log(v);
+        ++count;
+      }
+      if (count == 0)
+        std::printf("%10s", "-");
+      else
+        std::printf("%10.3f", std::exp(logsum / count));
+    }
+    std::printf("\n");
+  }
+
+  std::vector<std::string> rows_, cols_;
+  std::map<std::string, std::map<std::string, double>> cells_;
+};
+
+inline result_table& global_results() {
+  static result_table t;
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Timing helper: copy pristine input, run `sort_fn(work_span)`, record the
+// median over the benchmark iterations into the global table.
+
+template <typename Rec, typename SortFn>
+void run_timed_iterations(benchmark::State& st,
+                          const std::vector<Rec>& input, SortFn&& sort_fn,
+                          const std::string& row, const std::string& col) {
+  std::vector<Rec> work(input.size());
+  std::vector<double> times;
+  for (auto _ : st) {
+    std::copy(input.begin(), input.end(), work.begin());
+    dovetail::timer t;
+    sort_fn(std::span<Rec>(work));
+    const double s = t.seconds();
+    st.SetIterationTime(s);
+    times.push_back(s);
+  }
+  if (!times.empty()) {
+    std::sort(times.begin(), times.end());
+    global_results().add(row, col, times[times.size() / 2]);
+  }
+  st.counters["n"] = static_cast<double>(input.size());
+}
+
+// Register one (instance x algorithm) cell as a google-benchmark.
+template <typename Rec>
+void register_algo_bench(const dovetail::gen::distribution& d, std::size_t n,
+                         dovetail::algo a, const char* key_width_tag) {
+  const std::string name = std::string("Table/") + key_width_tag + "/" +
+                           d.name + "/" + dovetail::algo_name(a);
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [d, n, a](benchmark::State& st) {
+        const auto& input = cached_input<Rec>(d, n);
+        run_timed_iterations(
+            st, input,
+            [a](std::span<Rec> s) {
+              if constexpr (std::is_same_v<Rec, dovetail::kv32>)
+                dovetail::run_sorter(a, s, dovetail::key_of_kv32);
+              else
+                dovetail::run_sorter(a, s, dovetail::key_of_kv64);
+            },
+            d.name, dovetail::algo_name(a));
+      })
+      ->UseManualTime()
+      ->Iterations(bench_reps())
+      ->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace dtb

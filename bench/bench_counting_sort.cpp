@@ -1,0 +1,78 @@
+// Micro-benchmark of the distribution step (Sec 2.4 / Appendix B):
+// throughput of the stable blocked counting sort vs. the unstable
+// atomic-scatter counting sort of Thm 4.1, as a function of bucket count.
+// Appendix B's claim — the unstable version has better span on paper but
+// loses in practice to the I/O-friendly stable version — is directly
+// observable here. The distribution step is also what the paper's
+// conclusion names as the next optimization target.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "dovetail/core/counting_sort.hpp"
+#include "dovetail/core/unstable_counting_sort.hpp"
+
+using dovetail::counting_sort;
+using dovetail::kv32;
+using dovetail::unstable_counting_sort;
+namespace gen = dovetail::gen;
+
+namespace {
+
+void register_cell(std::size_t n, std::size_t buckets, bool stable) {
+  const char* variant = stable ? "Stable" : "Unstable";
+  const std::string name = std::string("CountingSort/") + variant +
+                           "/buckets:" + std::to_string(buckets);
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [n, buckets, stable, variant](benchmark::State& st) {
+        const gen::distribution d{gen::dist_kind::uniform, 1e9, "Unif-1e9"};
+        const auto& input = dtb::cached_input<kv32>(d, n);
+        std::vector<kv32> out(n);
+        const std::uint32_t mask = static_cast<std::uint32_t>(buckets - 1);
+        auto bucket_of = [mask](const kv32& r) -> std::size_t {
+          return r.key & mask;
+        };
+        std::vector<double> times;
+        for (auto _ : st) {
+          dovetail::timer t;
+          std::vector<std::size_t> offs =
+              stable ? counting_sort(std::span<const kv32>(input),
+                                     std::span<kv32>(out), buckets, bucket_of)
+                     : unstable_counting_sort(std::span<const kv32>(input),
+                                              std::span<kv32>(out), buckets,
+                                              bucket_of);
+          benchmark::DoNotOptimize(offs.data());
+          st.SetIterationTime(t.seconds());
+          times.push_back(t.seconds());
+        }
+        if (!times.empty()) {
+          std::sort(times.begin(), times.end());
+          dtb::global_results().add("B=" + std::to_string(buckets), variant,
+                                    times[times.size() / 2]);
+        }
+        st.counters["MB/s"] = benchmark::Counter(
+            static_cast<double>(n * sizeof(kv32)) / 1048576.0,
+            benchmark::Counter::kIsIterationInvariantRate);
+      })
+      ->UseManualTime()
+      ->Iterations(dtb::bench_reps())
+      ->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  const std::size_t n = dtb::bench_n();
+  for (std::size_t b = 16; b <= 65536; b *= 4) {
+    register_cell(n, b, true);
+    register_cell(n, b, false);
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  dtb::global_results().print(
+      "Distribution step: stable blocked vs unstable atomic counting sort "
+      "(Appendix B), n=" + std::to_string(n),
+      /*heatmap=*/false);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Fig 4(a,b): ablation of heavy-key detection. DTSort vs "Plain" (the same
+// algorithm with sampling-based heavy-key detection disabled) on the
+// lightest and heaviest instance of each distribution family, for 32- and
+// 64-bit keys.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "dovetail/core/dovetail_sort.hpp"
+
+using dovetail::dovetail_sort;
+using dovetail::kv32;
+using dovetail::kv64;
+using dovetail::sort_options;
+namespace gen = dovetail::gen;
+
+namespace {
+
+const std::vector<gen::distribution>& instances() {
+  static const std::vector<gen::distribution> d = {
+      {gen::dist_kind::uniform, 1e9, "Unif-1e9"},
+      {gen::dist_kind::uniform, 10, "Unif-10"},
+      {gen::dist_kind::exponential, 1, "Exp-1"},
+      {gen::dist_kind::exponential, 10, "Exp-10"},
+      {gen::dist_kind::zipfian, 0.6, "Zipf-0.6"},
+      {gen::dist_kind::zipfian, 1.5, "Zipf-1.5"},
+      {gen::dist_kind::bexp, 10, "BExp-10"},
+      {gen::dist_kind::bexp, 300, "BExp-300"},
+  };
+  return d;
+}
+
+template <typename Rec>
+void register_variant(const gen::distribution& d, std::size_t n,
+                      bool detect_heavy, const char* tag,
+                      const char* width) {
+  const std::string name = std::string("Fig4ab/") + width + "/" + d.name +
+                           "/" + tag;
+  const std::string row = d.name + std::string("/") + width;
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [d, n, detect_heavy, row, tag](benchmark::State& st) {
+        const auto& input = dtb::cached_input<Rec>(d, n);
+        sort_options opt;
+        opt.detect_heavy = detect_heavy;
+        dtb::run_timed_iterations(
+            st, input,
+            [&](std::span<Rec> s) {
+              dovetail_sort(s, [](const Rec& r) { return r.key; }, opt);
+            },
+            row, tag);
+      })
+      ->UseManualTime()
+      ->Iterations(dtb::bench_reps())
+      ->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  const std::size_t n = dtb::bench_n();
+  for (const auto& d : instances()) {
+    register_variant<kv32>(d, n, true, "DTSort", "32bit");
+    register_variant<kv32>(d, n, false, "Plain", "32bit");
+    register_variant<kv64>(d, n, true, "DTSort", "64bit");
+    register_variant<kv64>(d, n, false, "Plain", "64bit");
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  dtb::global_results().print(
+      "Fig 4(a,b): heavy-key detection ablation (DTSort vs Plain), n=" +
+      std::to_string(n));
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Fig 4(c,d): ablation of the dovetail-merging step. For seven
+// representative instances (32- and 64-bit), time DTSort with (1) DTMerge,
+// (2) the standard parallel-merge baseline (PLMerge), and (3) the merge
+// step skipped entirely ("Others" — not a correct sort; isolates the cost
+// of the remaining steps, exactly as in Sec 6.3).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "dovetail/core/dovetail_sort.hpp"
+
+using dovetail::dovetail_sort;
+using dovetail::kv32;
+using dovetail::kv64;
+using dovetail::sort_options;
+namespace gen = dovetail::gen;
+
+namespace {
+
+const std::vector<gen::distribution>& instances() {
+  static const std::vector<gen::distribution> d = {
+      {gen::dist_kind::uniform, 1e3, "Unif-1e3"},
+      {gen::dist_kind::exponential, 1, "Exp-1"},
+      {gen::dist_kind::exponential, 10, "Exp-10"},
+      {gen::dist_kind::zipfian, 0.6, "Zipf-0.6"},
+      {gen::dist_kind::zipfian, 1.5, "Zipf-1.5"},
+      {gen::dist_kind::bexp, 10, "BExp-10"},
+      {gen::dist_kind::bexp, 300, "BExp-300"},
+  };
+  return d;
+}
+
+template <typename Rec>
+void register_variant(const gen::distribution& d, std::size_t n,
+                      const sort_options& opt, const char* tag,
+                      const char* width) {
+  const std::string name =
+      std::string("Fig4cd/") + width + "/" + d.name + "/" + tag;
+  const std::string row = d.name + std::string("/") + width;
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [d, n, opt, row, tag](benchmark::State& st) {
+        const auto& input = dtb::cached_input<Rec>(d, n);
+        dtb::run_timed_iterations(
+            st, input,
+            [&](std::span<Rec> s) {
+              dovetail_sort(s, [](const Rec& r) { return r.key; }, opt);
+            },
+            row, tag);
+      })
+      ->UseManualTime()
+      ->Iterations(dtb::bench_reps())
+      ->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  const std::size_t n = dtb::bench_n();
+  sort_options dt, pl, none;
+  pl.use_dt_merge = false;
+  none.ablate_skip_merge = true;
+  for (const auto& d : instances()) {
+    register_variant<kv32>(d, n, dt, "DTMerge", "32bit");
+    register_variant<kv32>(d, n, pl, "PLMerge", "32bit");
+    register_variant<kv32>(d, n, none, "Others", "32bit");
+    register_variant<kv64>(d, n, dt, "DTMerge", "64bit");
+    register_variant<kv64>(d, n, pl, "PLMerge", "64bit");
+    register_variant<kv64>(d, n, none, "Others", "64bit");
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  dtb::global_results().print(
+      "Fig 4(c,d): dovetail-merging ablation (DTMerge vs PLMerge; 'Others' "
+      "= merge skipped), n=" + std::to_string(n),
+      /*heatmap=*/false);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Fig 4(e) and Appendix C Figs 5-20: self-speedup with varying thread
+// counts. For each distribution family's representative instances, run
+// every algorithm at 1..P threads and report times plus self-speedups.
+//
+// The paper sweeps 1..192 hyperthreads on a 96-core box; here the sweep is
+// 1..hardware threads (override the ceiling with DTBENCH_MAXTHREADS).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+using dovetail::algo;
+using dovetail::kv32;
+namespace gen = dovetail::gen;
+
+namespace {
+
+const std::vector<gen::distribution>& instances() {
+  static const std::vector<gen::distribution> d = {
+      {gen::dist_kind::zipfian, 0.8, "Zipf-0.8"},    // Fig 4(e) headline
+      {gen::dist_kind::uniform, 1e7, "Unif-1e7"},    // Fig 5-like
+      {gen::dist_kind::exponential, 7, "Exp-7"},     // Fig 8-like
+      {gen::dist_kind::bexp, 100, "BExp-100"},       // Fig 12-like
+  };
+  return d;
+}
+
+std::vector<int> thread_counts() {
+  const int maxp = static_cast<int>(dtb::env_size(
+      "DTBENCH_MAXTHREADS",
+      static_cast<std::size_t>(dovetail::par::scheduler::default_num_workers())));
+  std::vector<int> out;
+  for (int p = 1; p <= maxp; p *= 2) out.push_back(p);
+  if (out.back() != maxp) out.push_back(maxp);
+  return out;
+}
+
+void register_cell(const gen::distribution& d, std::size_t n, algo a,
+                   int threads) {
+  const std::string name = std::string("Fig4e/") + d.name + "/" +
+                           dovetail::algo_name(a) + "/threads:" +
+                           std::to_string(threads);
+  const std::string row = d.name + "/p=" + std::to_string(threads);
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [d, n, a, threads, row](benchmark::State& st) {
+        dovetail::par::scheduler::set_num_workers(threads);
+        const auto& input = dtb::cached_input<kv32>(d, n);
+        dtb::run_timed_iterations(
+            st, input,
+            [a](std::span<kv32> s) {
+              dovetail::run_sorter(a, s, dovetail::key_of_kv32);
+            },
+            row, dovetail::algo_name(a));
+        dovetail::par::scheduler::set_num_workers(
+            dovetail::par::scheduler::default_num_workers());
+      })
+      ->UseManualTime()
+      ->Iterations(dtb::bench_reps())
+      ->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  const std::size_t n = dtb::bench_n();
+  for (const auto& d : instances())
+    for (algo a : dovetail::all_parallel_algos())
+      for (int p : thread_counts()) register_cell(d, n, a, p);
+  benchmark::RunSpecifiedBenchmarks();
+  dtb::global_results().print(
+      "Fig 4(e) / Figs 5-20: running time by thread count (self-speedup = "
+      "p=1 row divided by p=k row), n=" + std::to_string(n),
+      /*heatmap=*/false);
+  benchmark::Shutdown();
+  return 0;
+}

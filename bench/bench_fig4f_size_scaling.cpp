@@ -1,0 +1,59 @@
+// Fig 4(f) and Appendix C Figs 21-36: running time with growing input size.
+// The paper sweeps 1e7..2e9; here the sweep is DTBENCH_N/32 .. DTBENCH_N*2,
+// doubling, for representative instances of each family.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+using dovetail::algo;
+using dovetail::kv32;
+namespace gen = dovetail::gen;
+
+namespace {
+
+const std::vector<gen::distribution>& instances() {
+  static const std::vector<gen::distribution> d = {
+      {gen::dist_kind::zipfian, 0.8, "Zipf-0.8"},  // Fig 4(f) headline
+      {gen::dist_kind::uniform, 1e7, "Unif-1e7"},
+      {gen::dist_kind::bexp, 30, "BExp-30"},
+  };
+  return d;
+}
+
+void register_cell(const gen::distribution& d, std::size_t n, algo a) {
+  const std::string name = std::string("Fig4f/") + d.name + "/" +
+                           dovetail::algo_name(a) + "/n:" +
+                           std::to_string(n);
+  const std::string row = d.name + "/n=" + std::to_string(n);
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [d, n, a, row](benchmark::State& st) {
+        const auto& input = dtb::cached_input<kv32>(d, n);
+        dtb::run_timed_iterations(
+            st, input,
+            [a](std::span<kv32> s) {
+              dovetail::run_sorter(a, s, dovetail::key_of_kv32);
+            },
+            row, dovetail::algo_name(a));
+      })
+      ->UseManualTime()
+      ->Iterations(dtb::bench_reps())
+      ->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  const std::size_t nmax = dtb::bench_n() * 2;
+  for (const auto& d : instances())
+    for (std::size_t n = std::max<std::size_t>(1000, nmax / 32); n <= nmax;
+         n *= 2)
+      for (algo a : dovetail::all_parallel_algos()) register_cell(d, n, a);
+  benchmark::RunSpecifiedBenchmarks();
+  dtb::global_results().print(
+      "Fig 4(f) / Figs 21-36: running time by input size (32-bit pairs)",
+      /*heatmap=*/false);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Table 3 (left) + Fig 1: all sorting algorithms on the 20 synthetic
+// instances with 32-bit keys and 32-bit values. Prints absolute times and
+// the relative-to-best heatmap with geometric means, as in the paper.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+using dovetail::algo;
+using dovetail::kv32;
+namespace gen = dovetail::gen;
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  const std::size_t n = dtb::bench_n();
+  for (const auto& d : gen::paper_distributions())
+    for (algo a : dovetail::all_parallel_algos())
+      dtb::register_algo_bench<kv32>(d, n, a, "32bit");
+  benchmark::RunSpecifiedBenchmarks();
+  dtb::global_results().print(
+      "Table 3 (left) / Fig 1: 32-bit key + 32-bit value, n=" +
+      std::to_string(n) + ", threads=" +
+      std::to_string(dovetail::par::num_workers()));
+  benchmark::Shutdown();
+  return 0;
+}

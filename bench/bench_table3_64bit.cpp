@@ -1,0 +1,24 @@
+// Table 3 (right): all sorting algorithms on the 20 synthetic instances
+// with 64-bit keys and 64-bit values. The paper's headline claim here is
+// that larger key ranges hurt plain radix sorts more than DTSort.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+using dovetail::algo;
+using dovetail::kv64;
+namespace gen = dovetail::gen;
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  const std::size_t n = dtb::bench_n();
+  for (const auto& d : gen::paper_distributions())
+    for (algo a : dovetail::all_parallel_algos())
+      dtb::register_algo_bench<kv64>(d, n, a, "64bit");
+  benchmark::RunSpecifiedBenchmarks();
+  dtb::global_results().print(
+      "Table 3 (right): 64-bit key + 64-bit value, n=" + std::to_string(n) +
+      ", threads=" + std::to_string(dovetail::par::num_workers()));
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Table 4 (bottom): Morton (z-order) sort. The paper uses three real point
+// sets (GeoLife, Cosmo50, OSM) and four Varden synthetic sets; we
+// substitute uniform point sets for the real-world role and Varden-like
+// varying-density sets (2D and 3D, two sizes) for the synthetic role (see
+// DESIGN.md). The timed operation is z-value computation + stable integer
+// sort + permutation, per algorithm.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "dovetail/apps/morton.hpp"
+#include "dovetail/generators/points.hpp"
+
+using dovetail::algo;
+namespace app = dovetail::app;
+namespace gen = dovetail::gen;
+
+namespace {
+
+struct pts2d_case {
+  std::string name;
+  std::vector<app::point2d> pts;
+};
+struct pts3d_case {
+  std::string name;
+  std::vector<app::point3d> pts;
+};
+
+const std::vector<pts2d_case>& cases_2d() {
+  static const std::vector<pts2d_case> c = [] {
+    const std::size_t n = dtb::bench_n();
+    std::vector<pts2d_case> out;
+    out.push_back({"Unif2d", gen::uniform_points_2d(n, 16, 71)});
+    out.push_back({"Varden2d", gen::varden_points_2d(n, 1000, 16, 72)});
+    out.push_back({"Varden2d-2x", gen::varden_points_2d(2 * n, 1000, 16, 73)});
+    return out;
+  }();
+  return c;
+}
+
+const std::vector<pts3d_case>& cases_3d() {
+  static const std::vector<pts3d_case> c = [] {
+    const std::size_t n = dtb::bench_n();
+    std::vector<pts3d_case> out;
+    out.push_back({"Unif3d", gen::uniform_points_3d(n, 21, 74)});
+    out.push_back({"Varden3d", gen::varden_points_3d(n, 1000, 21, 75)});
+    return out;
+  }();
+  return c;
+}
+
+template <typename Case, typename SortRunner>
+void register_cell(const Case& c, algo a, SortRunner&& run) {
+  const std::string name =
+      std::string("Table4/morton/") + c.name + "/" + dovetail::algo_name(a);
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [&c, a, run](benchmark::State& st) {
+        std::vector<double> times;
+        for (auto _ : st) {
+          dovetail::timer t;
+          run(c, a);
+          st.SetIterationTime(t.seconds());
+          times.push_back(t.seconds());
+        }
+        if (!times.empty()) {
+          std::sort(times.begin(), times.end());
+          dtb::global_results().add(c.name, dovetail::algo_name(a),
+                                    times[times.size() / 2]);
+        }
+        st.counters["n"] = static_cast<double>(c.pts.size());
+      })
+      ->UseManualTime()
+      ->Iterations(dtb::bench_reps())
+      ->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  auto run2d = [](const pts2d_case& c, algo a) {
+    auto out = app::morton_sort_2d(
+        std::span<const app::point2d>(c.pts),
+        [a](auto sp, auto k) { dovetail::run_sorter(a, sp, k); });
+    benchmark::DoNotOptimize(out.data());
+  };
+  auto run3d = [](const pts3d_case& c, algo a) {
+    auto out = app::morton_sort_3d(
+        std::span<const app::point3d>(c.pts),
+        [a](auto sp, auto k) { dovetail::run_sorter(a, sp, k); });
+    benchmark::DoNotOptimize(out.data());
+  };
+  for (const auto& c : cases_2d())
+    for (algo a : dovetail::all_parallel_algos()) register_cell(c, a, run2d);
+  for (const auto& c : cases_3d())
+    for (algo a : dovetail::all_parallel_algos()) register_cell(c, a, run3d);
+  benchmark::RunSpecifiedBenchmarks();
+  dtb::global_results().print(
+      "Table 4 (bottom): Morton sort, n=" + std::to_string(dtb::bench_n()) +
+      " (generated stand-ins for GeoLife/CM/OSM + Varden; see DESIGN.md)");
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Graph transpose (Sec 6.2): given a directed graph in compressed sparse
+// row (CSR) form, produce the transposed graph G^T. The core of the
+// computation is one *stable* integer sort of the edge list keyed by the
+// destination vertex; vertices with large in-degree are exactly the "heavy
+// keys" DTSort exploits.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dovetail/parallel/parallel_for.hpp"
+#include "dovetail/parallel/primitives.hpp"
+
+namespace dovetail::app {
+
+struct edge {
+  std::uint32_t src;
+  std::uint32_t dst;
+  friend bool operator==(const edge&, const edge&) = default;
+};
+
+struct csr_graph {
+  std::uint32_t num_vertices = 0;
+  std::vector<std::size_t> offsets;    // size num_vertices + 1
+  std::vector<std::uint32_t> targets;  // size num_edges
+
+  [[nodiscard]] std::size_t num_edges() const { return targets.size(); }
+  [[nodiscard]] std::span<const std::uint32_t> neighbors(
+      std::uint32_t v) const {
+    return {targets.data() + offsets[v], offsets[v + 1] - offsets[v]};
+  }
+};
+
+// Build a CSR graph from an edge list (grouped by src via a stable sort
+// performed by `sorter`; the relative order of parallel edges is kept).
+template <typename Sorter>
+csr_graph build_csr(std::uint32_t num_vertices, std::vector<edge> edges,
+                    Sorter&& sorter) {
+  sorter(std::span<edge>(edges), [](const edge& e) { return e.src; });
+  csr_graph g;
+  g.num_vertices = num_vertices;
+  g.offsets.assign(num_vertices + 1, 0);
+  g.targets.resize(edges.size());
+  std::vector<std::size_t> deg = par::histogram(
+      edges.size(), num_vertices,
+      [&](std::size_t i) { return static_cast<std::size_t>(edges[i].src); });
+  par::scan_exclusive_sum<std::size_t>(
+      deg, std::span<std::size_t>(g.offsets.data(), num_vertices));
+  g.offsets[num_vertices] = edges.size();
+  par::parallel_for(0, edges.size(),
+                    [&](std::size_t i) { g.targets[i] = edges[i].dst; });
+  return g;
+}
+
+// Flatten a CSR graph back to its edge list (src-grouped order).
+inline std::vector<edge> csr_to_edges(const csr_graph& g) {
+  std::vector<edge> edges(g.num_edges());
+  par::parallel_for(
+      0, static_cast<std::size_t>(g.num_vertices),
+      [&](std::size_t v) {
+        for (std::size_t j = g.offsets[v]; j < g.offsets[v + 1]; ++j)
+          edges[j] = {static_cast<std::uint32_t>(v), g.targets[j]};
+      },
+      64);
+  return edges;
+}
+
+// Transpose via one stable integer sort of the edges by destination.
+// `sorter(span<edge>, key_fn)` must sort stably by the unsigned key.
+template <typename Sorter>
+csr_graph transpose(const csr_graph& g, Sorter&& sorter) {
+  std::vector<edge> edges = csr_to_edges(g);
+  sorter(std::span<edge>(edges), [](const edge& e) { return e.dst; });
+  csr_graph gt;
+  gt.num_vertices = g.num_vertices;
+  gt.offsets.assign(g.num_vertices + 1, 0);
+  gt.targets.resize(edges.size());
+  std::vector<std::size_t> indeg = par::histogram(
+      edges.size(), g.num_vertices,
+      [&](std::size_t i) { return static_cast<std::size_t>(edges[i].dst); });
+  par::scan_exclusive_sum<std::size_t>(
+      indeg, std::span<std::size_t>(gt.offsets.data(), g.num_vertices));
+  gt.offsets[g.num_vertices] = edges.size();
+  par::parallel_for(0, edges.size(),
+                    [&](std::size_t i) { gt.targets[i] = edges[i].src; });
+  return gt;
+}
+
+}  // namespace dovetail::app

@@ -1,0 +1,130 @@
+// Morton (z-order) sort (Sec 6.2): interleave the bit representations of
+// point coordinates into a single integer z-value and integer sort by it,
+// ordering multidimensional data along a locality-preserving space-filling
+// curve.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dovetail/parallel/parallel_for.hpp"
+
+namespace dovetail::app {
+
+struct point2d {
+  std::uint32_t x;
+  std::uint32_t y;
+  friend bool operator==(const point2d&, const point2d&) = default;
+};
+
+struct point3d {
+  std::uint32_t x;
+  std::uint32_t y;
+  std::uint32_t z;
+  friend bool operator==(const point3d&, const point3d&) = default;
+};
+
+// Spread the low 16 bits of x so there is a zero bit between each
+// ("part1by1"), for 2D interleaving into 32 bits.
+constexpr std::uint32_t part1by1_16(std::uint32_t x) noexcept {
+  x &= 0x0000FFFF;
+  x = (x | (x << 8)) & 0x00FF00FF;
+  x = (x | (x << 4)) & 0x0F0F0F0F;
+  x = (x | (x << 2)) & 0x33333333;
+  x = (x | (x << 1)) & 0x55555555;
+  return x;
+}
+
+// Spread the low 32 bits of x for 2D interleaving into 64 bits.
+constexpr std::uint64_t part1by1_32(std::uint64_t x) noexcept {
+  x &= 0x00000000FFFFFFFFull;
+  x = (x | (x << 16)) & 0x0000FFFF0000FFFFull;
+  x = (x | (x << 8)) & 0x00FF00FF00FF00FFull;
+  x = (x | (x << 4)) & 0x0F0F0F0F0F0F0F0Full;
+  x = (x | (x << 2)) & 0x3333333333333333ull;
+  x = (x | (x << 1)) & 0x5555555555555555ull;
+  return x;
+}
+
+// Spread the low 21 bits of x with two zero bits between each
+// ("part1by2"), for 3D interleaving into 63 bits.
+constexpr std::uint64_t part1by2_21(std::uint64_t x) noexcept {
+  x &= 0x1FFFFF;
+  x = (x | (x << 32)) & 0x1F00000000FFFFull;
+  x = (x | (x << 16)) & 0x1F0000FF0000FFull;
+  x = (x | (x << 8)) & 0x100F00F00F00F00Full;
+  x = (x | (x << 4)) & 0x10C30C30C30C30C3ull;
+  x = (x | (x << 2)) & 0x1249249249249249ull;
+  return x;
+}
+
+// 2D z-value from 16-bit coordinates (32-bit key, Tab 4's 32-bit setting).
+constexpr std::uint32_t morton2d_32(std::uint32_t x, std::uint32_t y) noexcept {
+  return part1by1_16(x) | (part1by1_16(y) << 1);
+}
+
+// 2D z-value from 32-bit coordinates (64-bit key).
+constexpr std::uint64_t morton2d_64(std::uint32_t x, std::uint32_t y) noexcept {
+  return part1by1_32(x) | (part1by1_32(y) << 1);
+}
+
+// 3D z-value from 21-bit coordinates (63-bit key).
+constexpr std::uint64_t morton3d_63(std::uint32_t x, std::uint32_t y,
+                                    std::uint32_t z) noexcept {
+  return part1by2_21(x) | (part1by2_21(y) << 1) | (part1by2_21(z) << 2);
+}
+
+// Precomputed (z-value, point-index) pairs ready for integer sorting.
+struct zrec32 {
+  std::uint32_t key;    // z-value
+  std::uint32_t value;  // index of the point
+};
+struct zrec64 {
+  std::uint64_t key;
+  std::uint64_t value;
+};
+
+inline std::vector<zrec32> morton_records_2d32(std::span<const point2d> pts) {
+  std::vector<zrec32> out(pts.size());
+  par::parallel_for(0, pts.size(), [&](std::size_t i) {
+    out[i] = {morton2d_32(pts[i].x & 0xFFFF, pts[i].y & 0xFFFF),
+              static_cast<std::uint32_t>(i)};
+  });
+  return out;
+}
+
+inline std::vector<zrec64> morton_records_3d(std::span<const point3d> pts) {
+  std::vector<zrec64> out(pts.size());
+  par::parallel_for(0, pts.size(), [&](std::size_t i) {
+    out[i] = {morton3d_63(pts[i].x, pts[i].y, pts[i].z),
+              static_cast<std::uint64_t>(i)};
+  });
+  return out;
+}
+
+// Morton sort: reorder points along the z-curve with the given stable
+// integer sorter. Returns the permuted points.
+template <typename Sorter>
+std::vector<point2d> morton_sort_2d(std::span<const point2d> pts,
+                                    Sorter&& sorter) {
+  std::vector<zrec32> recs = morton_records_2d32(pts);
+  sorter(std::span<zrec32>(recs), [](const zrec32& r) { return r.key; });
+  std::vector<point2d> out(pts.size());
+  par::parallel_for(0, pts.size(),
+                    [&](std::size_t i) { out[i] = pts[recs[i].value]; });
+  return out;
+}
+
+template <typename Sorter>
+std::vector<point3d> morton_sort_3d(std::span<const point3d> pts,
+                                    Sorter&& sorter) {
+  std::vector<zrec64> recs = morton_records_3d(pts);
+  sorter(std::span<zrec64>(recs), [](const zrec64& r) { return r.key; });
+  std::vector<point3d> out(pts.size());
+  par::parallel_for(0, pts.size(),
+                    [&](std::size_t i) { out[i] = pts[recs[i].value]; });
+  return out;
+}
+
+}  // namespace dovetail::app

@@ -1,0 +1,107 @@
+// In-place unstable MSD radix sort (American-flag style) — the stand-in for
+// IPS2Ra [6] / RegionsSort [45] in the paper's comparison (Tab 2).
+//
+// Each node counts the digit histogram in parallel, then performs the
+// in-place cycle-chasing permutation *serially* (the permutation is the
+// part IPS2Ra/RegionsSort parallelize with heavy machinery; keeping it
+// serial reproduces their qualitative behaviour on this reproduction's
+// scale: in-place, unstable, and load-imbalance-sensitive on skewed inputs
+// such as BExp — cf. Sec 6.1 and Appendix C where IPS2Ra scales poorly).
+// Recursion over buckets is parallel.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "dovetail/parallel/parallel_for.hpp"
+#include "dovetail/parallel/primitives.hpp"
+#include "dovetail/util/bits.hpp"
+
+namespace dovetail::baseline {
+
+struct inplace_radix_options {
+  int gamma = 8;                           // digit width (256 buckets)
+  std::size_t base_case = std::size_t{1} << 12;
+};
+
+namespace detail {
+
+template <typename Rec, typename KeyFn>
+void inplace_radix_rec(std::span<Rec> a, const KeyFn& key, int bits,
+                       const inplace_radix_options& opt) {
+  const std::size_t n = a.size();
+  if (n <= 1 || bits == 0) return;
+  if (n <= opt.base_case) {
+    std::sort(a.begin(), a.end(), [&](const Rec& x, const Rec& y) {
+      return key(x) < key(y);
+    });
+    return;
+  }
+  auto keyof = [&](const Rec& r) {
+    return static_cast<std::uint64_t>(key(r));
+  };
+  const int digit = std::min(opt.gamma, bits);
+  const int shift = bits - digit;
+  const std::size_t zones = std::size_t{1} << digit;
+  const std::uint64_t zmask = zones - 1;
+  auto bucket_of = [&](const Rec& r) -> std::size_t {
+    return (keyof(r) >> shift) & zmask;
+  };
+
+  // Parallel histogram, then serial in-place permutation (American flag).
+  std::vector<std::size_t> counts =
+      par::histogram(n, zones, [&](std::size_t i) { return bucket_of(a[i]); });
+  std::vector<std::size_t> start(zones + 1, 0), next(zones, 0);
+  for (std::size_t z = 0; z < zones; ++z) start[z + 1] = start[z] + counts[z];
+  for (std::size_t z = 0; z < zones; ++z) next[z] = start[z];
+
+  for (std::size_t z = 0; z < zones; ++z) {
+    while (next[z] < start[z + 1]) {
+      Rec& r = a[next[z]];
+      std::size_t d = bucket_of(r);
+      if (d == z) {
+        ++next[z];
+      } else {
+        using std::swap;
+        swap(r, a[next[d]++]);
+      }
+    }
+  }
+
+  par::parallel_for(
+      0, zones,
+      [&](std::size_t z) {
+        inplace_radix_rec(a.subspan(start[z], start[z + 1] - start[z]), key,
+                          shift, opt);
+      },
+      1);
+}
+
+}  // namespace detail
+
+// Unstable in-place parallel MSD radix sort.
+template <typename Rec, typename KeyFn>
+void inplace_radix_sort(std::span<Rec> data, const KeyFn& key,
+                        const inplace_radix_options& opt = {}) {
+  static_assert(std::is_trivially_copyable_v<Rec>);
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+  const std::uint64_t maxk = par::reduce_map(
+      0, n, std::uint64_t{0},
+      [&](std::size_t i) { return static_cast<std::uint64_t>(key(data[i])); },
+      [](std::uint64_t x, std::uint64_t y) { return x < y ? y : x; });
+  detail::inplace_radix_rec(data, key, bit_width_u64(maxk), opt);
+}
+
+template <typename K>
+  requires std::is_unsigned_v<K>
+void inplace_radix_sort(std::span<K> data,
+                        const inplace_radix_options& opt = {}) {
+  inplace_radix_sort(data, [](const K& k) { return k; }, opt);
+}
+
+}  // namespace dovetail::baseline

@@ -1,0 +1,93 @@
+// Bucket-id assignment for DTSort (Alg 2, lines 5-14).
+//
+// The key range of the current digit is divided into 2^γ "MSD zones". Every
+// zone gets exactly one light bucket; each heavy key gets a private bucket
+// placed immediately after the light bucket of its zone, ordered by key
+// (so buckets of a zone are consecutive and globally ordered — the property
+// the dovetail-merging step relies on). A final overflow bucket holds keys
+// above the sampled range (Sec 5).
+//
+// Lookup is O(1): a per-zone array `L` for light buckets and a small
+// open-addressing hash table `H` for heavy keys (GetBucketId, Alg 2 line 21).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "dovetail/parallel/random.hpp"
+#include "dovetail/util/bits.hpp"
+
+namespace dovetail {
+
+class bucket_table {
+ public:
+  static constexpr std::uint32_t kEmpty =
+      std::numeric_limits<std::uint32_t>::max();
+
+  // `heavy_keys` must be sorted ascending; every key must satisfy
+  // (key >> shift) < zones.
+  bucket_table(std::span<const std::uint64_t> heavy_keys, int shift,
+               std::size_t zones)
+      : light_(zones), shift_(shift) {
+    const std::size_t nh = heavy_keys.size();
+    const std::size_t cap = next_pow2(std::max<std::size_t>(8, 2 * nh));
+    hkeys_.assign(cap, 0);
+    hids_.assign(cap, kEmpty);
+    hmask_ = cap - 1;
+    nheavy_ = nh;
+
+    std::uint32_t id = 0;
+    std::size_t j = 0;
+    for (std::size_t z = 0; z < zones; ++z) {
+      light_[z] = id++;
+      while (j < nh && (heavy_keys[j] >> shift_) == z) {
+        insert(heavy_keys[j], id++);
+        ++j;
+      }
+    }
+    overflow_ = id;
+  }
+
+  [[nodiscard]] std::uint32_t light_id(std::size_t zone) const {
+    return light_[zone];
+  }
+  [[nodiscard]] std::uint32_t overflow_id() const { return overflow_; }
+  [[nodiscard]] std::size_t num_buckets() const {
+    return static_cast<std::size_t>(overflow_) + 1;
+  }
+  [[nodiscard]] std::size_t num_zones() const { return light_.size(); }
+  [[nodiscard]] std::size_t num_heavy() const { return nheavy_; }
+
+  // Bucket id for an in-range masked key (zone = key >> shift < zones).
+  [[nodiscard]] std::uint32_t lookup(std::uint64_t key) const {
+    if (nheavy_ != 0) {
+      std::size_t h = par::hash64(key) & hmask_;
+      while (hids_[h] != kEmpty) {
+        if (hkeys_[h] == key) return hids_[h];
+        h = (h + 1) & hmask_;
+      }
+    }
+    return light_[key >> shift_];
+  }
+
+ private:
+  void insert(std::uint64_t key, std::uint32_t id) {
+    std::size_t h = par::hash64(key) & hmask_;
+    while (hids_[h] != kEmpty) h = (h + 1) & hmask_;
+    hkeys_[h] = key;
+    hids_[h] = id;
+  }
+
+  std::vector<std::uint32_t> light_;
+  std::vector<std::uint64_t> hkeys_;
+  std::vector<std::uint32_t> hids_;
+  std::size_t hmask_ = 0;
+  std::size_t nheavy_ = 0;
+  int shift_ = 0;
+  std::uint32_t overflow_ = 0;
+};
+
+}  // namespace dovetail

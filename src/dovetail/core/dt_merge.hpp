@@ -1,0 +1,185 @@
+// Dovetail merging (Alg 3 / Sec 3.4): interleave the sorted light bucket of
+// an MSD zone with the zone's heavy buckets.
+//
+// Layout on entry (one MSD zone, contiguous in `zone`):
+//     [ light bucket, sorted | heavy B_0 | heavy B_1 | ... | heavy B_{m-1} ]
+// Heavy buckets are ordered by key and each holds records of a single key;
+// the light bucket contains no record with a heavy key. On exit the zone is
+// fully sorted, stably.
+//
+// Strategy: copy only the smaller of (light, all-heavy) out to scratch; the
+// larger side is moved *within* the zone, bucket by bucket (sequentially
+// across buckets, in parallel within a bucket). A move whose source and
+// destination overlap uses the two-flip rotation trick [27, 60]: reverse the
+// bucket, then reverse the whole affected region (or the mirror image for
+// rightward moves), which relocates the bucket stably in place.
+//
+// pl_merge() is the baseline of Sec 6.3 (Fig 4 c,d): a standard parallel
+// merge into scratch followed by a copy back — two rounds of global data
+// movement, which DTMerge avoids.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dovetail/parallel/merge.hpp"
+#include "dovetail/parallel/parallel_for.hpp"
+#include "dovetail/parallel/primitives.hpp"
+
+namespace dovetail {
+
+namespace detail {
+
+// Index of the first light record with key(light[i]) >= hk.
+template <typename Rec, typename KeyFn>
+std::size_t light_lower_bound(std::span<const Rec> light, const KeyFn& key,
+                              std::uint64_t hk) {
+  std::size_t lo = 0, hi = light.size();
+  while (lo < hi) {
+    std::size_t mid = lo + (hi - lo) / 2;
+    if (static_cast<std::uint64_t>(key(light[mid])) < hk)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+}  // namespace detail
+
+// `zone`: the full zone region; `light_size`: records in the light bucket
+// (prefix of `zone`); `heavy_sizes`: sizes of the m heavy buckets following
+// it, in key order; `tmp`: scratch of at least min(light, total-heavy)
+// records (the zone-sized scratch segment in practice).
+template <typename Rec, typename KeyFn>
+void dt_merge(std::span<Rec> zone, std::size_t light_size,
+              std::span<const std::size_t> heavy_sizes, const KeyFn& key,
+              std::span<Rec> tmp) {
+  const std::size_t m = heavy_sizes.size();
+  const std::size_t total = zone.size();
+  const std::size_t total_heavy = total - light_size;
+  if (m == 0 || total_heavy == 0) return;
+
+  // Heavy bucket i currently starts at hstart[i]; hprefix[i] = total heavy
+  // records before bucket i.
+  std::vector<std::size_t> hstart(m), hprefix(m + 1);
+  {
+    std::size_t cur = light_size;
+    for (std::size_t i = 0; i < m; ++i) {
+      hstart[i] = cur;
+      hprefix[i] = cur - light_size;
+      cur += heavy_sizes[i];
+    }
+    hprefix[m] = total_heavy;
+  }
+
+  // cuts[i]: number of light records with key strictly below heavy key i
+  // (equal keys cannot occur across light/heavy). Monotone since heavy keys
+  // ascend. Final start of heavy bucket i is cuts[i] + hprefix[i].
+  std::span<const Rec> light(zone.data(), light_size);
+  std::vector<std::size_t> cuts(m);
+  par::parallel_for(
+      0, m,
+      [&](std::size_t i) {
+        if (heavy_sizes[i] == 0) {
+          cuts[i] = i == 0 ? 0 : cuts[i - 1];  // defensive; not expected
+          return;
+        }
+        auto hk = static_cast<std::uint64_t>(key(zone[hstart[i]]));
+        cuts[i] = detail::light_lower_bound(light, key, hk);
+      },
+      1);
+
+  if (light_size <= total_heavy) {
+    // ---- Case 1 (Alg 3 lines 2-12): back up the light records, move heavy
+    // buckets left into place, then scatter the light chunks back.
+    par::copy(light, tmp.subspan(0, light_size));
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::size_t len = heavy_sizes[i];
+      if (len == 0) continue;
+      const std::size_t src = hstart[i];
+      const std::size_t dst = cuts[i] + hprefix[i];  // dst <= src
+      if (dst == src) continue;
+      if (dst + len <= src) {
+        par::parallel_for(0, len,
+                          [&](std::size_t j) { zone[dst + j] = zone[src + j]; });
+      } else {
+        // Overlapping leftward move: flip the bucket, then flip the whole
+        // region [dst, src+len). The bucket lands at dst in original order;
+        // the displaced prefix (expired data) lands reversed after it.
+        par::reverse_inplace(zone.subspan(src, len));
+        par::reverse_inplace(zone.subspan(dst, src + len - dst));
+      }
+    }
+    // Scatter light chunks from tmp. Chunk i in [0, m]: light records in
+    // [cs, ce) shifted right by hprefix[i]. Chunk 0 never moves and its
+    // region is never clobbered by heavy moves, so it is skipped.
+    par::parallel_for(
+        0, m + 1,
+        [&](std::size_t i) {
+          if (i == 0) return;
+          const std::size_t cs = cuts[i - 1];
+          const std::size_t ce = i == m ? light_size : cuts[i];
+          if (ce <= cs) return;
+          const std::size_t dst = cs + hprefix[i];
+          par::parallel_for(0, ce - cs, [&](std::size_t j) {
+            zone[dst + j] = tmp[cs + j];
+          });
+        },
+        1);
+  } else {
+    // ---- Case 2 (Alg 3 line 13, symmetric): back up the heavy records,
+    // shift the light chunks right (last chunk first), then scatter the
+    // heavy buckets into the gaps.
+    par::copy(std::span<const Rec>(zone.subspan(light_size)),
+              tmp.subspan(0, total_heavy));
+    for (std::size_t i = m; i >= 1; --i) {
+      const std::size_t cs = cuts[i - 1];
+      const std::size_t ce = i == m ? light_size : cuts[i];
+      if (ce <= cs) continue;
+      const std::size_t len = ce - cs;
+      const std::size_t dst = cs + hprefix[i];  // dst >= cs
+      if (dst == cs) continue;
+      if (dst >= ce) {
+        par::parallel_for(0, len,
+                          [&](std::size_t j) { zone[dst + j] = zone[cs + j]; });
+      } else {
+        // Overlapping rightward move: flip the whole region [cs, dst+len),
+        // then flip the destination [dst, dst+len).
+        par::reverse_inplace(zone.subspan(cs, dst + len - cs));
+        par::reverse_inplace(zone.subspan(dst, len));
+      }
+    }
+    par::parallel_for(
+        0, m,
+        [&](std::size_t i) {
+          const std::size_t len = heavy_sizes[i];
+          if (len == 0) return;
+          const std::size_t src = hprefix[i];
+          const std::size_t dst = cuts[i] + hprefix[i];
+          par::parallel_for(0, len, [&](std::size_t j) {
+            zone[dst + j] = tmp[src + j];
+          });
+        },
+        1);
+  }
+}
+
+// Baseline merging (Sec 6.3, "PLMerge"): the heavy buckets concatenated are
+// already sorted, so one standard parallel merge into scratch plus a copy
+// back produces the zone. Costs two rounds of global data movement.
+template <typename Rec, typename KeyFn>
+void pl_merge(std::span<Rec> zone, std::size_t light_size, const KeyFn& key,
+              std::span<Rec> tmp) {
+  const std::size_t total = zone.size();
+  if (light_size == 0 || light_size == total) return;
+  auto comp = [&](const Rec& x, const Rec& y) { return key(x) < key(y); };
+  par::merge(std::span<const Rec>(zone.data(), light_size),
+             std::span<const Rec>(zone.data() + light_size,
+                                  total - light_size),
+             tmp.subspan(0, total), comp);
+  par::copy(std::span<const Rec>(tmp.data(), total), zone);
+}
+
+}  // namespace dovetail

@@ -1,0 +1,51 @@
+// Tuning knobs for DovetailSort. Defaults follow the paper's Sec 6
+// "Parameter Selection"; the ablation flags correspond to the experiments
+// in Sec 6.3.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dovetail {
+
+struct sort_stats;
+
+struct sort_options {
+  // Digit width γ in bits. 0 = auto: log2(cbrt(n)) clamped to [8, 12],
+  // the paper's theory-guided choice Θ(sqrt(log r)).
+  int gamma = 0;
+
+  // Base-case threshold θ: subproblems at most this size are finished with
+  // a stable comparison sort (paper: 2^14).
+  std::size_t base_case = std::size_t{1} << 14;
+
+  // Heavy-key detection via sampling (Alg 2 step 1). Disabling this yields
+  // the "Plain" variant of the Fig 4(a,b) ablation.
+  bool detect_heavy = true;
+
+  // Dovetail merging (Alg 3) vs. the standard parallel-merge baseline
+  // ("PLMerge") for step 4 — the Fig 4(c,d) ablation.
+  bool use_dt_merge = true;
+
+  // Overflow-bucket optimization (Sec 5): estimate the key range from the
+  // samples and skip leading zero bits; out-of-range keys go to a final
+  // comparison-sorted overflow bucket.
+  bool skip_leading_bits = true;
+
+  // Subsample stride (the paper's "every (log n)-th sample"); 0 = auto.
+  std::size_t sample_stride = 0;
+
+  // Seed for the deterministic sampling. Fixed seed => the whole sort is
+  // internally deterministic (Appendix A).
+  std::uint64_t seed = 42;
+
+  // BENCHMARK-ONLY (Fig 4 c,d "Others" bar): skip the merging step in every
+  // recursive call. The output is NOT fully sorted when heavy buckets
+  // exist; this isolates the cost of the other steps as in Sec 6.3.
+  bool ablate_skip_merge = false;
+
+  // Optional work instrumentation (see sort_stats.hpp); nullptr = off.
+  sort_stats* stats = nullptr;
+};
+
+}  // namespace dovetail

@@ -1,0 +1,66 @@
+// Work instrumentation for DovetailSort — the empirical counterpart of the
+// paper's Sec 4 analysis.
+//
+// The theorems predict, in terms of records touched:
+//   * Thm 4.4/4.5: total distribution work O(n sqrt(log r)) — i.e. roughly
+//     (#levels) * n distributed records, with #levels = (log r)/γ;
+//   * Thm 4.6: exponential key-frequency inputs => O(n) work (almost all
+//     records become heavy at the top level and skip recursion);
+//   * Thm 4.7: <= c'*2^γ distinct keys => O(n) work (light records shrink
+//     geometrically per level).
+// With stats enabled, `distributed_records / n` measures the effective
+// number of levels each record participates in, `heavy_records` counts the
+// records that were parked in heavy buckets (skipping all further levels),
+// and so on. bench_theory_work prints these per distribution.
+//
+// Counters are updated at subproblem granularity (one atomic add per
+// counting-sort call, not per record), so overhead is negligible.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace dovetail {
+
+struct sort_stats {
+  // Sum of subproblem sizes over all distribution (counting sort) calls:
+  // the dominant work term of the MSD framework.
+  std::atomic<std::uint64_t> distributed_records{0};
+  // Records that entered a heavy bucket (sorted once, skip all recursion).
+  std::atomic<std::uint64_t> heavy_records{0};
+  // Records finished by the comparison-sort base case (Alg 2 line 2).
+  std::atomic<std::uint64_t> base_case_records{0};
+  // Records routed to overflow buckets (keys above the sampled range).
+  std::atomic<std::uint64_t> overflow_records{0};
+  // Records in zones that required dovetail merging.
+  std::atomic<std::uint64_t> merged_records{0};
+  // Keys sampled across all subproblems (sampling overhead, o(n') each).
+  std::atomic<std::uint64_t> sampled_keys{0};
+  // Number of recursive subproblems that performed a distribution.
+  std::atomic<std::uint64_t> num_distributions{0};
+  // Number of heavy buckets created.
+  std::atomic<std::uint64_t> num_heavy_buckets{0};
+  // Deepest recursion level that performed a distribution (root = 1).
+  std::atomic<std::uint64_t> max_depth{0};
+
+  void reset() {
+    distributed_records = 0;
+    heavy_records = 0;
+    base_case_records = 0;
+    overflow_records = 0;
+    merged_records = 0;
+    sampled_keys = 0;
+    num_distributions = 0;
+    num_heavy_buckets = 0;
+    max_depth = 0;
+  }
+
+  void note_depth(std::uint64_t d) {
+    std::uint64_t cur = max_depth.load(std::memory_order_relaxed);
+    while (cur < d && !max_depth.compare_exchange_weak(
+                          cur, d, std::memory_order_relaxed)) {
+    }
+  }
+};
+
+}  // namespace dovetail

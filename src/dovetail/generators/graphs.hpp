@@ -1,0 +1,67 @@
+// Graph generators for the transpose benchmark (Tab 4, top). The paper uses
+// real social networks / web graphs (skewed in-degrees => heavy keys) and a
+// kNN graph (even degrees). We generate synthetic graphs that reproduce the
+// sorting-relevant property — the in-degree distribution of edge
+// destinations:
+//   * power-law: destinations drawn Zipfian (social/web-like, heavy keys)
+//   * uniform:   destinations uniform (light duplicates)
+//   * knn-like:  each vertex points to `degree` near neighbours (even
+//                in-degrees, like the Cosmo50 kNN graph)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dovetail/apps/graph.hpp"
+#include "dovetail/generators/synthetic.hpp"
+#include "dovetail/parallel/parallel_for.hpp"
+#include "dovetail/parallel/random.hpp"
+
+namespace dovetail::gen {
+
+inline std::vector<app::edge> powerlaw_graph(std::uint32_t num_vertices,
+                                             std::size_t num_edges, double s,
+                                             std::uint64_t seed = 11) {
+  std::vector<app::edge> edges(num_edges);
+  par::parallel_for(0, num_edges, [&](std::size_t i) {
+    const auto src = static_cast<std::uint32_t>(
+        par::rand_range(seed, 2 * i, num_vertices));
+    // Zipfian rank -> vertex id (hashed so popular vertices are spread out).
+    const std::uint64_t z =
+        zipf_key(seed + 1, i, s, num_vertices, 64) % num_vertices;
+    edges[i] = {src, static_cast<std::uint32_t>(z)};
+  });
+  return edges;
+}
+
+inline std::vector<app::edge> uniform_graph(std::uint32_t num_vertices,
+                                            std::size_t num_edges,
+                                            std::uint64_t seed = 12) {
+  std::vector<app::edge> edges(num_edges);
+  par::parallel_for(0, num_edges, [&](std::size_t i) {
+    edges[i] = {static_cast<std::uint32_t>(
+                    par::rand_range(seed, 2 * i, num_vertices)),
+                static_cast<std::uint32_t>(
+                    par::rand_range(seed, 2 * i + 1, num_vertices))};
+  });
+  return edges;
+}
+
+inline std::vector<app::edge> knn_graph(std::uint32_t num_vertices,
+                                        std::uint32_t degree,
+                                        std::uint64_t seed = 13) {
+  const std::size_t m =
+      static_cast<std::size_t>(num_vertices) * degree;
+  std::vector<app::edge> edges(m);
+  par::parallel_for(0, m, [&](std::size_t i) {
+    const auto v = static_cast<std::uint32_t>(i / degree);
+    // Neighbour at a small random offset: in-degrees stay near `degree`.
+    const auto off = static_cast<std::uint32_t>(
+        1 + par::rand_range(seed, i, 2 * degree));
+    edges[i] = {v, (v + off) % num_vertices};
+  });
+  return edges;
+}
+
+}  // namespace dovetail::gen

@@ -1,0 +1,100 @@
+// Point-set generators for the Morton-sort benchmark (Tab 4, bottom).
+//
+// Varden [24] produces point sets with *varying density* (dense clusters of
+// very different sizes inside sparse regions). We reproduce that shape:
+// cluster centers are uniform, cluster populations are Zipfian (so a few
+// clusters are huge), and each cluster has its own radius — giving z-values
+// with heavy local duplication at coarse Morton prefixes, which is what
+// makes the instance interesting for integer sorting. A uniform generator
+// plays the role of the lighter real-world sets.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dovetail/apps/morton.hpp"
+#include "dovetail/generators/synthetic.hpp"
+#include "dovetail/parallel/parallel_for.hpp"
+#include "dovetail/parallel/random.hpp"
+
+namespace dovetail::gen {
+
+inline std::vector<app::point2d> uniform_points_2d(std::size_t n,
+                                                   std::uint32_t coord_bits,
+                                                   std::uint64_t seed = 21) {
+  const std::uint64_t range = 1ull << coord_bits;
+  std::vector<app::point2d> pts(n);
+  par::parallel_for(0, n, [&](std::size_t i) {
+    pts[i] = {static_cast<std::uint32_t>(par::rand_range(seed, 2 * i, range)),
+              static_cast<std::uint32_t>(
+                  par::rand_range(seed, 2 * i + 1, range))};
+  });
+  return pts;
+}
+
+inline std::vector<app::point2d> varden_points_2d(std::size_t n,
+                                                  std::size_t num_clusters,
+                                                  std::uint32_t coord_bits,
+                                                  std::uint64_t seed = 22) {
+  const std::uint64_t range = 1ull << coord_bits;
+  if (num_clusters == 0) num_clusters = 1;
+  std::vector<app::point2d> pts(n);
+  par::parallel_for(0, n, [&](std::size_t i) {
+    // Zipfian cluster choice: a few clusters dominate (varying density).
+    const std::uint64_t c =
+        zipf_key(seed, i, 1.1, num_clusters, 64) % num_clusters;
+    const std::uint64_t cx = par::rand_range(seed + 1, 2 * c, range);
+    const std::uint64_t cy = par::rand_range(seed + 1, 2 * c + 1, range);
+    // Cluster-specific radius between range/2^12 and range/2^4.
+    const int rbits = static_cast<int>(
+        par::rand_range(seed + 2, c, 9)) + static_cast<int>(coord_bits) - 12;
+    const std::uint64_t radius = 1ull << std::max(1, rbits);
+    const std::uint64_t dx = par::rand_range(seed + 3, 2 * i, 2 * radius);
+    const std::uint64_t dy = par::rand_range(seed + 3, 2 * i + 1, 2 * radius);
+    pts[i] = {static_cast<std::uint32_t>((cx + dx) % range),
+              static_cast<std::uint32_t>((cy + dy) % range)};
+  });
+  return pts;
+}
+
+inline std::vector<app::point3d> uniform_points_3d(std::size_t n,
+                                                   std::uint32_t coord_bits,
+                                                   std::uint64_t seed = 23) {
+  const std::uint64_t range = 1ull << coord_bits;
+  std::vector<app::point3d> pts(n);
+  par::parallel_for(0, n, [&](std::size_t i) {
+    pts[i] = {static_cast<std::uint32_t>(par::rand_range(seed, 3 * i, range)),
+              static_cast<std::uint32_t>(
+                  par::rand_range(seed, 3 * i + 1, range)),
+              static_cast<std::uint32_t>(
+                  par::rand_range(seed, 3 * i + 2, range))};
+  });
+  return pts;
+}
+
+inline std::vector<app::point3d> varden_points_3d(std::size_t n,
+                                                  std::size_t num_clusters,
+                                                  std::uint32_t coord_bits,
+                                                  std::uint64_t seed = 24) {
+  const std::uint64_t range = 1ull << coord_bits;
+  if (num_clusters == 0) num_clusters = 1;
+  std::vector<app::point3d> pts(n);
+  par::parallel_for(0, n, [&](std::size_t i) {
+    const std::uint64_t c =
+        zipf_key(seed, i, 1.1, num_clusters, 64) % num_clusters;
+    const int rbits = static_cast<int>(
+        par::rand_range(seed + 2, c, 9)) + static_cast<int>(coord_bits) - 12;
+    const std::uint64_t radius = 1ull << std::max(1, rbits);
+    std::uint32_t xyz[3];
+    for (int d = 0; d < 3; ++d) {
+      const std::uint64_t cd = par::rand_range(seed + 1, 3 * c + static_cast<std::uint64_t>(d), range);
+      const std::uint64_t dd = par::rand_range(seed + 3, 3 * i + static_cast<std::uint64_t>(d), 2 * radius);
+      xyz[d] = static_cast<std::uint32_t>((cd + dd) % range);
+    }
+    pts[i] = {xyz[0], xyz[1], xyz[2]};
+  });
+  return pts;
+}
+
+}  // namespace dovetail::gen

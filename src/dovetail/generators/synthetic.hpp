@@ -1,0 +1,178 @@
+// Synthetic input distributions from Sec 6 of the paper:
+//   Unif-μ : uniform over μ distinct keys, spread over the full key range
+//   Exp-λ  : key frequencies follow an exponential distribution with rate
+//            1e-5·λ (larger λ => heavier duplicates)
+//   Zipf-s : Zipfian with exponent s (larger s => heavier duplicates)
+//   BExp-t : "bit-exponential" adversarial input — every bit of the key is
+//            0 with probability 1/t, else 1 (controls the *bitwise*
+//            encoding, producing wildly uneven MSD zones; Sec 6.1)
+//
+// All generators are deterministic functions of (seed, index), so data can
+// be generated in parallel with no races. Unif/Exp/Zipf keys are passed
+// through a 64-bit bijective hash and masked to the target width, which
+// spreads them over the full range [r] while preserving the duplicate
+// structure (the paper: "we map the keys to larger ranges, up to 2^32 or
+// 2^64"). BExp keys are used raw since their bit pattern is the point.
+//
+// Zipf uses the bounded-Pareto inverse-CDF approximation of the discrete
+// Zipf distribution (O(1) per sample): rank = x rounded down where x has
+// density ∝ x^-s on [1, U]. This preserves the rank-frequency skew the
+// experiments depend on.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dovetail/parallel/parallel_for.hpp"
+#include "dovetail/parallel/random.hpp"
+#include "dovetail/util/bits.hpp"
+
+namespace dovetail::gen {
+
+enum class dist_kind { uniform, exponential, zipfian, bexp };
+
+struct distribution {
+  dist_kind kind;
+  double param;      // μ for uniform, λ-multiplier for exp, s for zipf, t for bexp
+  std::string name;  // e.g. "Unif-1e5"
+};
+
+// The 20 instances of Tab 3 (5 per family, light -> heavy duplicates).
+inline std::vector<distribution> paper_distributions() {
+  return {
+      {dist_kind::uniform, 1e9, "Unif-1e9"},
+      {dist_kind::uniform, 1e7, "Unif-1e7"},
+      {dist_kind::uniform, 1e5, "Unif-1e5"},
+      {dist_kind::uniform, 1e3, "Unif-1e3"},
+      {dist_kind::uniform, 10, "Unif-10"},
+      {dist_kind::exponential, 1, "Exp-1"},
+      {dist_kind::exponential, 2, "Exp-2"},
+      {dist_kind::exponential, 5, "Exp-5"},
+      {dist_kind::exponential, 7, "Exp-7"},
+      {dist_kind::exponential, 10, "Exp-10"},
+      {dist_kind::zipfian, 0.6, "Zipf-0.6"},
+      {dist_kind::zipfian, 0.8, "Zipf-0.8"},
+      {dist_kind::zipfian, 1.0, "Zipf-1"},
+      {dist_kind::zipfian, 1.2, "Zipf-1.2"},
+      {dist_kind::zipfian, 1.5, "Zipf-1.5"},
+      {dist_kind::bexp, 10, "BExp-10"},
+      {dist_kind::bexp, 30, "BExp-30"},
+      {dist_kind::bexp, 50, "BExp-50"},
+      {dist_kind::bexp, 100, "BExp-100"},
+      {dist_kind::bexp, 300, "BExp-300"},
+  };
+}
+
+inline std::vector<distribution> standard_distributions() {
+  auto all = paper_distributions();
+  return {all.begin(), all.begin() + 15};
+}
+
+// ---------------------------------------------------------------------------
+// Per-index key generators. `key_bits` is 32 or 64.
+
+inline std::uint64_t uniform_key(std::uint64_t seed, std::uint64_t i,
+                                 std::uint64_t mu, int key_bits) {
+  const std::uint64_t v = par::rand_range(seed, i, mu == 0 ? 1 : mu);
+  return par::hash64(v + 1) & low_mask(key_bits);
+}
+
+inline std::uint64_t exponential_key(std::uint64_t seed, std::uint64_t i,
+                                     double lambda_mult, int key_bits) {
+  const double lambda = 1e-5 * lambda_mult;
+  const double u = par::rand_double(seed, i);
+  const double x = -std::log1p(-u) / lambda;
+  const auto v = static_cast<std::uint64_t>(x);
+  return par::hash64(v + 1) & low_mask(key_bits);
+}
+
+inline std::uint64_t zipf_key(std::uint64_t seed, std::uint64_t i, double s,
+                              std::uint64_t universe, int key_bits) {
+  const double u = par::rand_double(seed, i);
+  const auto umax = static_cast<double>(universe);
+  double x;
+  if (s > 0.999 && s < 1.001) {
+    x = std::pow(umax, u);  // s == 1: inverse CDF of 1/x on [1, U]
+  } else {
+    const double one_minus_s = 1.0 - s;
+    const double t = std::pow(umax, one_minus_s);
+    x = std::pow((t - 1.0) * u + 1.0, 1.0 / one_minus_s);
+  }
+  auto rank = static_cast<std::uint64_t>(x);
+  if (rank < 1) rank = 1;
+  if (rank > universe) rank = universe;
+  return par::hash64(rank) & low_mask(key_bits);
+}
+
+inline std::uint64_t bexp_key(std::uint64_t seed, std::uint64_t i, double t,
+                              int key_bits) {
+  // Bit is 0 with probability 1/t. 16-bit thresholds give < 0.01% error for
+  // the paper's t in [10, 300]; 4 bits are drawn per hash call.
+  const auto threshold =
+      static_cast<std::uint32_t>(65536.0 / t + 0.5);
+  std::uint64_t key = 0;
+  int produced = 0;
+  std::uint64_t chunk_idx = 0;
+  while (produced < key_bits) {
+    std::uint64_t r = par::rand_at(seed ^ 0xBE9Full, i * 16 + chunk_idx++);
+    for (int c = 0; c < 4 && produced < key_bits; ++c) {
+      const auto v = static_cast<std::uint32_t>((r >> (16 * c)) & 0xFFFF);
+      const std::uint64_t bit = v < threshold ? 0 : 1;
+      key |= bit << produced;
+      ++produced;
+    }
+  }
+  return key;
+}
+
+inline std::uint64_t make_key(const distribution& d, std::uint64_t seed,
+                              std::uint64_t i, std::uint64_t n,
+                              int key_bits) {
+  switch (d.kind) {
+    case dist_kind::uniform:
+      return uniform_key(seed, i, static_cast<std::uint64_t>(d.param),
+                         key_bits);
+    case dist_kind::exponential:
+      return exponential_key(seed, i, d.param, key_bits);
+    case dist_kind::zipfian:
+      return zipf_key(seed, i, d.param, n == 0 ? 1 : n, key_bits);
+    case dist_kind::bexp:
+      return bexp_key(seed, i, d.param, key_bits);
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Bulk generation into records (keys only, or key+value pairs where the
+// value records the input index — handy for stability checks).
+
+template <typename K>
+std::vector<K> generate_keys(const distribution& d, std::size_t n,
+                             std::uint64_t seed = 1) {
+  static_assert(std::is_unsigned_v<K>);
+  constexpr int kb = static_cast<int>(sizeof(K) * 8);
+  std::vector<K> out(n);
+  par::parallel_for(0, n, [&](std::size_t i) {
+    out[i] = static_cast<K>(make_key(d, seed, i, n, kb));
+  });
+  return out;
+}
+
+template <typename Rec>
+std::vector<Rec> generate_records(const distribution& d, std::size_t n,
+                                  std::uint64_t seed = 1) {
+  using K = decltype(Rec{}.key);
+  constexpr int kb = static_cast<int>(sizeof(K) * 8);
+  std::vector<Rec> out(n);
+  par::parallel_for(0, n, [&](std::size_t i) {
+    out[i].key = static_cast<K>(make_key(d, seed, i, n, kb));
+    out[i].value = static_cast<decltype(Rec{}.value)>(i);
+  });
+  return out;
+}
+
+}  // namespace dovetail::gen

@@ -1,0 +1,81 @@
+// Parallel stable merge of two sorted ranges into an output range.
+//
+// Classic divide-and-conquer merge: split the larger input at its midpoint,
+// binary-search the split key in the other input, recurse on both halves in
+// parallel. O(n) work, O(log^2 n) span. Stable: on ties, elements of `a`
+// precede elements of `b` (std::merge semantics).
+//
+// This is the "PLMerge" baseline of Sec 6.3 used in the dovetail-merging
+// ablation (Fig 4 c,d).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+
+#include "dovetail/parallel/parallel_for.hpp"
+#include "dovetail/parallel/scheduler.hpp"
+
+namespace dovetail::par {
+
+namespace detail {
+
+template <typename T, typename Comp>
+void parallel_merge_rec(std::span<const T> a, std::span<const T> b,
+                        std::span<T> out, const Comp& comp,
+                        std::size_t gran) {
+  if (a.size() + b.size() <= gran) {
+    std::merge(a.begin(), a.end(), b.begin(), b.end(), out.begin(), comp);
+    return;
+  }
+  if (a.size() < b.size()) {
+    // Keep `a` the larger side, preserving stability: elements of the
+    // original `a` must win ties. Split `b` instead.
+    std::size_t jb = b.size() / 2;
+    // Elements of a strictly less than b[jb] go left; equal keys from a go
+    // left of b[jb] as well, hence upper_bound.
+    std::size_t ja = static_cast<std::size_t>(
+        std::upper_bound(a.begin(), a.end(), b[jb], comp) - a.begin());
+    pardo(
+        [&] {
+          parallel_merge_rec(a.subspan(0, ja), b.subspan(0, jb),
+                             out.subspan(0, ja + jb), comp, gran);
+        },
+        [&] {
+          parallel_merge_rec(a.subspan(ja), b.subspan(jb),
+                             out.subspan(ja + jb), comp, gran);
+        });
+    return;
+  }
+  std::size_t ja = a.size() / 2;
+  std::size_t jb = static_cast<std::size_t>(
+      std::lower_bound(b.begin(), b.end(), a[ja], comp) - b.begin());
+  pardo(
+      [&] {
+        parallel_merge_rec(a.subspan(0, ja), b.subspan(0, jb),
+                           out.subspan(0, ja + jb), comp, gran);
+      },
+      [&] {
+        parallel_merge_rec(a.subspan(ja), b.subspan(jb),
+                           out.subspan(ja + jb), comp, gran);
+      });
+}
+
+}  // namespace detail
+
+template <typename T, typename Comp>
+void merge(std::span<const T> a, std::span<const T> b, std::span<T> out,
+           const Comp& comp, std::size_t granularity = 0) {
+  std::size_t n = a.size() + b.size();
+  std::size_t gran =
+      granularity == 0 ? std::max<std::size_t>(2048, default_granularity(n))
+                       : granularity;
+  detail::parallel_merge_rec(a, b, out, comp, gran);
+}
+
+template <typename T>
+void merge(std::span<const T> a, std::span<const T> b, std::span<T> out) {
+  merge(a, b, out, std::less<T>{});
+}
+
+}  // namespace dovetail::par

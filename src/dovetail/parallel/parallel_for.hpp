@@ -1,0 +1,45 @@
+// Granularity-controlled parallel loop built on binary forking (pardo).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "dovetail/parallel/scheduler.hpp"
+
+namespace dovetail::par {
+
+namespace detail {
+
+template <typename F>
+void parallel_for_rec(std::size_t lo, std::size_t hi, const F& f,
+                      std::size_t gran) {
+  if (hi - lo <= gran) {
+    for (std::size_t i = lo; i < hi; ++i) f(i);
+    return;
+  }
+  std::size_t mid = lo + (hi - lo) / 2;
+  pardo([&] { parallel_for_rec(lo, mid, f, gran); },
+        [&] { parallel_for_rec(mid, hi, f, gran); });
+}
+
+}  // namespace detail
+
+// Default granularity: about 64 leaf tasks per worker, but never finer than
+// 512 iterations (loop bodies are assumed cheap). Pass an explicit
+// granularity (e.g. 1) when each iteration is itself expensive, such as a
+// recursive sort over a bucket.
+inline std::size_t default_granularity(std::size_t n) {
+  auto p = static_cast<std::size_t>(num_workers());
+  return std::max<std::size_t>(512, n / (64 * p));
+}
+
+template <typename F>
+void parallel_for(std::size_t lo, std::size_t hi, const F& f,
+                  std::size_t granularity = 0) {
+  if (lo >= hi) return;
+  std::size_t n = hi - lo;
+  std::size_t gran = granularity == 0 ? default_granularity(n) : granularity;
+  detail::parallel_for_rec(lo, hi, f, gran);
+}
+
+}  // namespace dovetail::par

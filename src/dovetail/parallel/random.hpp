@@ -1,0 +1,40 @@
+// Deterministic, race-free pseudo-random utilities.
+//
+// All randomness in the library is generated statelessly by hashing
+// (seed, index) pairs, so parallel code is internally deterministic once
+// the seed is fixed (the paper's Appendix A calls this property out as a
+// design goal of DTSort).
+#pragma once
+
+#include <cstdint>
+
+namespace dovetail::par {
+
+// 64-bit finalizer (splitmix64 / Stafford mix13). Bijective on uint64_t.
+constexpr std::uint64_t hash64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Stateless stream of uniform 64-bit values: value i of stream `seed`.
+constexpr std::uint64_t rand_at(std::uint64_t seed, std::uint64_t i) noexcept {
+  return hash64(seed * 0xD1B54A32D192ED03ull + i + 1);
+}
+
+// Uniform value in [0, bound) (bound > 0). Uses the high-quality upper bits
+// via 128-bit multiply (Lemire's method, without the rejection step; the
+// modulo bias is < 2^-40 for bounds < 2^24 and irrelevant for our use).
+constexpr std::uint64_t rand_range(std::uint64_t seed, std::uint64_t i,
+                                   std::uint64_t bound) noexcept {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(rand_at(seed, i)) * bound) >> 64);
+}
+
+// Uniform double in [0, 1).
+constexpr double rand_double(std::uint64_t seed, std::uint64_t i) noexcept {
+  return static_cast<double>(rand_at(seed, i) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace dovetail::par

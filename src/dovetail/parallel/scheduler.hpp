@@ -1,0 +1,141 @@
+// Fork-join work-stealing scheduler with binary forking.
+//
+// This is the substrate the paper assumes from ParlayLib [10]: a pool of
+// workers with per-worker deques, binary fork (`pardo`) and a randomized
+// work-stealing policy, which executes a computation with work W and span D
+// in W/P + O(D) time whp (Sec 2.2 of the paper).
+//
+// Design notes:
+//  * Forked tasks live on the forking thread's stack; the scheduler only
+//    holds pointers. A task is joined before the frame unwinds, even when
+//    the left branch throws.
+//  * Deques are mutex-protected. With granularity-controlled parallel loops
+//    the fork rate is low, so the lock is uncontended on the fast path.
+//  * Idle workers spin briefly, then sleep on a condition variable with a
+//    bounded timeout, so sequential phases do not burn CPU on idle workers
+//    (important for fair baseline benchmarks).
+//  * Exceptions thrown by either branch propagate to the joining caller.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <type_traits>
+#include <utility>
+
+namespace dovetail::par {
+
+namespace detail {
+
+// Type-erased forked task. `run()` must be called exactly once.
+class job {
+ public:
+  virtual void run() noexcept = 0;
+  [[nodiscard]] bool finished() const noexcept {
+    return done_.load(std::memory_order_acquire);
+  }
+
+ protected:
+  ~job() = default;
+  void mark_done() noexcept { done_.store(true, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> done_{false};
+};
+
+template <typename F>
+class forked_task final : public job {
+ public:
+  explicit forked_task(F&& f) : f_(std::move(f)) {}
+  explicit forked_task(const F& f) : f_(f) {}
+
+  void run() noexcept override {
+    try {
+      f_();
+    } catch (...) {
+      ex_ = std::current_exception();
+    }
+    mark_done();
+  }
+
+  void rethrow_if_exception() {
+    if (ex_) std::rethrow_exception(ex_);
+  }
+
+ private:
+  F f_;
+  std::exception_ptr ex_{};
+};
+
+}  // namespace detail
+
+class scheduler {
+ public:
+  // Lazily constructed global scheduler. The first caller's thread becomes
+  // worker 0 and participates in parallel regions.
+  static scheduler& get();
+
+  // Id of the calling thread within the pool, or -1 for foreign threads.
+  static int worker_id() noexcept;
+
+  // Number of workers (threads) in the pool, >= 1.
+  [[nodiscard]] int num_workers() const noexcept { return num_workers_; }
+
+  // Tear down and restart the pool with `p` workers (p >= 1). Must not be
+  // called while parallel work is in flight. Used by scaling benchmarks.
+  static void set_num_workers(int p);
+
+  // Default worker count: DOVETAIL_NUM_THREADS env var, else hardware
+  // concurrency.
+  static int default_num_workers();
+
+  // ---- internal API used by pardo() ----
+  void push(detail::job* j);
+  bool pop_if_top(detail::job* j);
+  void wait_until_done(detail::job* j);
+
+  scheduler(const scheduler&) = delete;
+  scheduler& operator=(const scheduler&) = delete;
+  ~scheduler();
+
+ private:
+  friend struct scheduler_access;
+  explicit scheduler(int p);
+  void worker_loop(int id);
+  detail::job* try_get_job(int id, std::uint64_t& rng) noexcept;
+
+  struct impl;
+  impl* pimpl_;
+  int num_workers_;
+};
+
+// Run `left` and `right` potentially in parallel; returns when both are
+// done. Exceptions from either branch are rethrown (left's first).
+template <typename L, typename R>
+void pardo(L&& left, R&& right) {
+  scheduler& s = scheduler::get();
+  if (s.num_workers() == 1 || scheduler::worker_id() < 0) {
+    left();
+    right();
+    return;
+  }
+  detail::forked_task<std::decay_t<R>> rt(std::forward<R>(right));
+  s.push(&rt);
+  std::exception_ptr left_ex{};
+  try {
+    left();
+  } catch (...) {
+    left_ex = std::current_exception();
+  }
+  if (s.pop_if_top(&rt)) {
+    rt.run();
+  } else {
+    s.wait_until_done(&rt);
+  }
+  if (left_ex) std::rethrow_exception(left_ex);
+  rt.rethrow_if_exception();
+}
+
+inline int num_workers() { return scheduler::get().num_workers(); }
+
+}  // namespace dovetail::par

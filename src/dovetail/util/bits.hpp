@@ -1,0 +1,35 @@
+// Small bit-manipulation helpers shared by the radix sorts.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace dovetail {
+
+// Number of bits needed to represent x (0 for x == 0).
+constexpr int bit_width_u64(std::uint64_t x) noexcept {
+  return std::bit_width(x);
+}
+
+// Mask with the low `bits` bits set; bits in [0, 64].
+constexpr std::uint64_t low_mask(int bits) noexcept {
+  return bits >= 64 ? ~0ull : ((1ull << bits) - 1);
+}
+
+constexpr std::uint64_t floor_log2(std::uint64_t x) noexcept {
+  return x == 0 ? 0 : static_cast<std::uint64_t>(std::bit_width(x) - 1);
+}
+
+constexpr std::uint64_t ceil_log2(std::uint64_t x) noexcept {
+  return x <= 1 ? 0 : static_cast<std::uint64_t>(std::bit_width(x - 1));
+}
+
+constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+constexpr std::uint64_t next_pow2(std::uint64_t x) noexcept {
+  return x <= 1 ? 1 : 1ull << ceil_log2(x);
+}
+
+}  // namespace dovetail

@@ -1,0 +1,53 @@
+// Public verification helpers: cheap parallel checks that a sort output is
+// ordered, and an order-independent fingerprint to confirm the output is a
+// permutation of the input. Used by the CLI, the examples and downstream
+// users who want a fast post-sort sanity check without a reference sort.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "dovetail/parallel/primitives.hpp"
+#include "dovetail/parallel/random.hpp"
+
+namespace dovetail {
+
+// True iff key(a[i-1]) <= key(a[i]) for all i. O(n) work, parallel.
+template <typename Rec, typename KeyFn>
+bool is_sorted_by_key(std::span<const Rec> a, const KeyFn& key) {
+  if (a.size() < 2) return true;
+  const std::size_t violations = par::reduce_map(
+      1, a.size(), std::size_t{0},
+      [&](std::size_t i) -> std::size_t {
+        return key(a[i - 1]) > key(a[i]) ? 1 : 0;
+      },
+      [](std::size_t x, std::size_t y) { return x + y; });
+  return violations == 0;
+}
+
+// Order-independent multiset fingerprint over (key, salt(i)) pairs is NOT
+// possible without order; this fingerprints keys only. Two arrays with the
+// same key multiset collide deliberately — exactly the permutation check a
+// sorter needs. Collisions between different multisets are ~2^-64.
+template <typename Rec, typename KeyFn>
+std::uint64_t key_multiset_fingerprint(std::span<const Rec> a,
+                                       const KeyFn& key) {
+  return par::reduce_map(
+      0, a.size(), std::uint64_t{0},
+      [&](std::size_t i) {
+        return par::hash64(static_cast<std::uint64_t>(key(a[i])) ^
+                           0x5851F42D4C957F2Dull);
+      },
+      [](std::uint64_t x, std::uint64_t y) { return x + y; });
+}
+
+// Convenience: verify that `after` is a sorted permutation of `before`.
+template <typename Rec, typename KeyFn>
+bool is_sorted_permutation_of(std::span<const Rec> before,
+                              std::span<const Rec> after, const KeyFn& key) {
+  return before.size() == after.size() && is_sorted_by_key(after, key) &&
+         key_multiset_fingerprint(before, key) ==
+             key_multiset_fingerprint(after, key);
+}
+
+}  // namespace dovetail

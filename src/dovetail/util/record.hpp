@@ -1,0 +1,28 @@
+// Record types used throughout tests, benchmarks and examples: the paper
+// evaluates on (32-bit key, 32-bit value) and (64-bit key, 64-bit value)
+// pairs (Tab 3).
+#pragma once
+
+#include <cstdint>
+
+namespace dovetail {
+
+struct kv32 {
+  std::uint32_t key;
+  std::uint32_t value;
+  friend bool operator==(const kv32&, const kv32&) = default;
+};
+
+struct kv64 {
+  std::uint64_t key;
+  std::uint64_t value;
+  friend bool operator==(const kv64&, const kv64&) = default;
+};
+
+static_assert(sizeof(kv32) == 8);
+static_assert(sizeof(kv64) == 16);
+
+inline constexpr auto key_of_kv32 = [](const kv32& r) { return r.key; };
+inline constexpr auto key_of_kv64 = [](const kv64& r) { return r.key; };
+
+}  // namespace dovetail

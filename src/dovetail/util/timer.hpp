@@ -1,0 +1,21 @@
+// Wall-clock timer used by examples and the benchmark harness.
+#pragma once
+
+#include <chrono>
+
+namespace dovetail {
+
+class timer {
+ public:
+  timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace dovetail

@@ -1,0 +1,185 @@
+// Tests for the two applications: graph transpose and Morton sort.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dovetail/apps/graph.hpp"
+#include "dovetail/apps/morton.hpp"
+#include "dovetail/core/dovetail_sort.hpp"
+#include "dovetail/generators/graphs.hpp"
+#include "dovetail/generators/points.hpp"
+
+using namespace dovetail;
+using app::csr_graph;
+using app::edge;
+
+namespace {
+
+constexpr auto dt_sorter = [](auto span, auto key) {
+  dovetail_sort(span, key);
+};
+
+csr_graph make_graph(std::vector<edge> edges, std::uint32_t v) {
+  return app::build_csr(v, std::move(edges), dt_sorter);
+}
+
+// Canonical form: adjacency lists sorted.
+csr_graph canonical(csr_graph g) {
+  for (std::uint32_t v = 0; v < g.num_vertices; ++v)
+    std::sort(g.targets.begin() + static_cast<std::ptrdiff_t>(g.offsets[v]),
+              g.targets.begin() + static_cast<std::ptrdiff_t>(g.offsets[v + 1]));
+  return g;
+}
+
+bool same_graph(const csr_graph& a, const csr_graph& b) {
+  return a.num_vertices == b.num_vertices && a.offsets == b.offsets &&
+         a.targets == b.targets;
+}
+
+}  // namespace
+
+TEST(GraphTranspose, TinyHandCheckedExample) {
+  // 0 -> 1, 0 -> 2, 2 -> 0, 1 -> 2
+  std::vector<edge> edges = {{0, 1}, {0, 2}, {2, 0}, {1, 2}};
+  csr_graph g = make_graph(edges, 3);
+  csr_graph gt = app::transpose(g, dt_sorter);
+  ASSERT_EQ(gt.num_vertices, 3u);
+  // In-edges: 0 <- {2}; 1 <- {0}; 2 <- {0, 1}
+  EXPECT_EQ(gt.neighbors(0).size(), 1u);
+  EXPECT_EQ(gt.neighbors(0)[0], 2u);
+  EXPECT_EQ(gt.neighbors(1).size(), 1u);
+  EXPECT_EQ(gt.neighbors(1)[0], 0u);
+  ASSERT_EQ(gt.neighbors(2).size(), 2u);
+  EXPECT_EQ(gt.neighbors(2)[0], 0u);
+  EXPECT_EQ(gt.neighbors(2)[1], 1u);
+}
+
+TEST(GraphTranspose, DoubleTransposeIsIdentity) {
+  const std::uint32_t V = 2000;
+  auto g = make_graph(gen::powerlaw_graph(V, 50000, 1.2, 7), V);
+  auto gtt = app::transpose(app::transpose(g, dt_sorter), dt_sorter);
+  EXPECT_TRUE(same_graph(canonical(g), canonical(gtt)));
+}
+
+TEST(GraphTranspose, EdgeCountAndDegreesPreserved) {
+  const std::uint32_t V = 3000;
+  auto g = make_graph(gen::uniform_graph(V, 60000, 8), V);
+  auto gt = app::transpose(g, dt_sorter);
+  EXPECT_EQ(gt.num_edges(), g.num_edges());
+  // out-degree of v in G^T == in-degree of v in G.
+  std::vector<std::size_t> indeg(V, 0);
+  for (auto e : app::csr_to_edges(g)) ++indeg[e.dst];
+  for (std::uint32_t v = 0; v < V; ++v)
+    ASSERT_EQ(gt.offsets[v + 1] - gt.offsets[v], indeg[v]) << v;
+}
+
+TEST(GraphTranspose, StableSortPreservesSourceOrderWithinTarget) {
+  // Adjacency in the transpose must list sources in ascending order when
+  // the input edge list is grouped by ascending source (stability).
+  const std::uint32_t V = 500;
+  auto g = make_graph(gen::knn_graph(V, 6, 9), V);
+  auto gt = app::transpose(g, dt_sorter);
+  for (std::uint32_t v = 0; v < V; ++v) {
+    auto nb = gt.neighbors(v);
+    for (std::size_t i = 1; i < nb.size(); ++i)
+      ASSERT_LE(nb[i - 1], nb[i]) << "vertex " << v;
+  }
+}
+
+TEST(GraphTranspose, EmptyAndIsolatedVertices) {
+  csr_graph g = make_graph({}, 10);
+  auto gt = app::transpose(g, dt_sorter);
+  EXPECT_EQ(gt.num_edges(), 0u);
+  EXPECT_EQ(gt.offsets.size(), 11u);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(Morton, Part1By1RoundTripBits) {
+  for (std::uint32_t x : {0u, 1u, 0xFFFFu, 0xAAAAu, 0x1234u}) {
+    std::uint32_t spread = app::part1by1_16(x);
+    // Every second bit must be zero.
+    EXPECT_EQ(spread & 0xAAAAAAAAu, 0u);
+    // Compacting back yields x.
+    std::uint32_t back = 0;
+    for (int b = 0; b < 16; ++b) back |= ((spread >> (2 * b)) & 1u) << b;
+    EXPECT_EQ(back, x);
+  }
+}
+
+TEST(Morton, Interleave2dKnownValues) {
+  EXPECT_EQ(app::morton2d_32(0, 0), 0u);
+  EXPECT_EQ(app::morton2d_32(1, 0), 1u);
+  EXPECT_EQ(app::morton2d_32(0, 1), 2u);
+  EXPECT_EQ(app::morton2d_32(1, 1), 3u);
+  EXPECT_EQ(app::morton2d_32(2, 0), 4u);
+  EXPECT_EQ(app::morton2d_32(0xFFFF, 0xFFFF), 0xFFFFFFFFu);
+}
+
+TEST(Morton, Interleave3dKnownValues) {
+  EXPECT_EQ(app::morton3d_63(0, 0, 0), 0u);
+  EXPECT_EQ(app::morton3d_63(1, 0, 0), 1u);
+  EXPECT_EQ(app::morton3d_63(0, 1, 0), 2u);
+  EXPECT_EQ(app::morton3d_63(0, 0, 1), 4u);
+  EXPECT_EQ(app::morton3d_63(1, 1, 1), 7u);
+}
+
+TEST(Morton, MonotoneInEachCoordinateWithinQuadrant) {
+  // If y is fixed and x grows within the same power-of-two box, the z-value
+  // grows.
+  for (std::uint32_t y : {0u, 5u, 1000u}) {
+    std::uint32_t prev = app::morton2d_32(0, y);
+    for (std::uint32_t x = 1; x < 100; ++x) {
+      std::uint32_t z = app::morton2d_32(x, y);
+      EXPECT_GT(z, prev);
+      prev = z;
+    }
+  }
+}
+
+TEST(Morton, SortProducesZOrderedSequence) {
+  auto pts = gen::varden_points_2d(50000, 32, 16, 11);
+  auto sorted = app::morton_sort_2d(std::span<const app::point2d>(pts),
+                                    dt_sorter);
+  ASSERT_EQ(sorted.size(), pts.size());
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    ASSERT_LE(app::morton2d_32(sorted[i - 1].x, sorted[i - 1].y),
+              app::morton2d_32(sorted[i].x, sorted[i].y))
+        << i;
+  }
+}
+
+TEST(Morton, SortIsPermutation) {
+  auto pts = gen::uniform_points_2d(30000, 16, 12);
+  auto sorted = app::morton_sort_2d(std::span<const app::point2d>(pts),
+                                    dt_sorter);
+  auto canon = [](std::vector<app::point2d> v) {
+    std::sort(v.begin(), v.end(), [](auto a, auto b) {
+      return a.x != b.x ? a.x < b.x : a.y < b.y;
+    });
+    return v;
+  };
+  EXPECT_EQ(canon(pts), canon(sorted));
+}
+
+TEST(Morton, Sort3dZOrdered) {
+  auto pts = gen::varden_points_3d(40000, 32, 21, 13);
+  auto sorted = app::morton_sort_3d(std::span<const app::point3d>(pts),
+                                    dt_sorter);
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    ASSERT_LE(app::morton3d_63(sorted[i - 1].x, sorted[i - 1].y,
+                               sorted[i - 1].z),
+              app::morton3d_63(sorted[i].x, sorted[i].y, sorted[i].z));
+  }
+}
+
+TEST(Morton, LocalityNearbyPointsShareHighBits) {
+  // Two points in the same 2^8-box share at least the top 16 of 32 z-bits.
+  const std::uint32_t x = 0x1200, y = 0x3400;
+  auto za = app::morton2d_32(x, y);
+  auto zb = app::morton2d_32(x + 200, y + 100);
+  EXPECT_EQ(za >> 16, zb >> 16);
+}

@@ -1,0 +1,129 @@
+// Tests for the stable parallel counting sort (the distribution primitive
+// every MSD sort in this library is built on).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dovetail/core/counting_sort.hpp"
+#include "dovetail/parallel/random.hpp"
+#include "dovetail/util/record.hpp"
+
+using dovetail::counting_sort;
+using dovetail::kv32;
+namespace par = dovetail::par;
+
+namespace {
+std::vector<kv32> random_records(std::size_t n, std::uint32_t key_bound,
+                                 std::uint64_t seed) {
+  std::vector<kv32> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = {static_cast<std::uint32_t>(par::rand_range(seed, i, key_bound)),
+            static_cast<std::uint32_t>(i)};
+  return v;
+}
+}  // namespace
+
+struct CountingCase {
+  std::size_t n;
+  std::size_t buckets;
+};
+
+class CountingSortSweep : public ::testing::TestWithParam<CountingCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CountingSortSweep,
+    ::testing::Values(CountingCase{0, 4}, CountingCase{1, 1},
+                      CountingCase{10, 1}, CountingCase{1000, 2},
+                      CountingCase{1000, 17}, CountingCase{50000, 256},
+                      CountingCase{200000, 4096}, CountingCase{300000, 8},
+                      CountingCase{65536, 65536 / 4}));
+
+TEST_P(CountingSortSweep, StableAndCorrect) {
+  const auto [n, nb] = GetParam();
+  auto in = random_records(n, static_cast<std::uint32_t>(nb), 17);
+  std::vector<kv32> out(n);
+  auto bucket_of = [nb2 = nb](const kv32& r) -> std::size_t {
+    return r.key % nb2;
+  };
+  auto offs = counting_sort(std::span<const kv32>(in), std::span<kv32>(out),
+                            nb, bucket_of);
+
+  // Offsets are a valid partition.
+  ASSERT_EQ(offs.size(), nb + 1);
+  ASSERT_EQ(offs.front(), 0u);
+  ASSERT_EQ(offs.back(), n);
+  for (std::size_t k = 0; k < nb; ++k) ASSERT_LE(offs[k], offs[k + 1]);
+
+  // Every bucket range holds exactly records of that bucket, stably.
+  for (std::size_t k = 0; k < nb; ++k) {
+    for (std::size_t i = offs[k]; i < offs[k + 1]; ++i) {
+      ASSERT_EQ(bucket_of(out[i]), k);
+      if (i > offs[k]) {
+        ASSERT_LT(out[i - 1].value, out[i].value);
+      }
+    }
+  }
+
+  // Same multiset: the value field (input index) appears exactly once.
+  std::vector<char> seen(n, 0);
+  for (const auto& r : out) {
+    ASSERT_LT(r.value, n);
+    ASSERT_FALSE(seen[r.value]);
+    seen[r.value] = 1;
+  }
+}
+
+TEST(CountingSort, MatchesStdStableSortByBucket) {
+  const std::size_t n = 100000, nb = 100;
+  auto in = random_records(n, 1u << 30, 23);
+  std::vector<kv32> out(n);
+  auto bucket_of = [](const kv32& r) -> std::size_t { return r.key % 100; };
+  counting_sort(std::span<const kv32>(in), std::span<kv32>(out), nb,
+                bucket_of);
+  auto expect = in;
+  std::stable_sort(expect.begin(), expect.end(),
+                   [&](const kv32& a, const kv32& b) {
+                     return bucket_of(a) < bucket_of(b);
+                   });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i].key, expect[i].key) << i;
+    ASSERT_EQ(out[i].value, expect[i].value) << i;
+  }
+}
+
+TEST(CountingSort, AllRecordsInOneBucket) {
+  const std::size_t n = 50000, nb = 64;
+  auto in = random_records(n, 1u << 30, 29);
+  std::vector<kv32> out(n);
+  auto offs = counting_sort(std::span<const kv32>(in), std::span<kv32>(out),
+                            nb, [](const kv32&) -> std::size_t { return 63; });
+  EXPECT_EQ(offs[63], 0u);
+  EXPECT_EQ(offs[64], n);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(out[i].value, i);  // stable
+}
+
+TEST(CountingSort, EmptyBucketsInterleaved) {
+  const std::size_t n = 10000, nb = 10;
+  auto in = random_records(n, 5, 31);
+  std::vector<kv32> out(n);
+  // Only even buckets are populated.
+  auto offs = counting_sort(
+      std::span<const kv32>(in), std::span<kv32>(out), nb,
+      [](const kv32& r) -> std::size_t { return 2 * (r.key % 5); });
+  for (std::size_t k = 1; k < nb; k += 2) EXPECT_EQ(offs[k], offs[k + 1]);
+}
+
+TEST(CountingSort, DeterministicRepeatRuns) {
+  const std::size_t n = 120000, nb = 512;
+  auto in = random_records(n, 1u << 20, 37);
+  std::vector<kv32> out1(n), out2(n);
+  auto bucket_of = [](const kv32& r) -> std::size_t { return r.key % 512; };
+  counting_sort(std::span<const kv32>(in), std::span<kv32>(out1), nb,
+                bucket_of);
+  counting_sort(std::span<const kv32>(in), std::span<kv32>(out2), nb,
+                bucket_of);
+  EXPECT_TRUE(std::equal(out1.begin(), out1.end(), out2.begin()));
+}

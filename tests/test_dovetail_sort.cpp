@@ -1,0 +1,240 @@
+// Correctness tests for DovetailSort: sortedness, permutation, stability,
+// option ablations, adversarial and degenerate inputs, both key widths,
+// with and without values.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dovetail/core/dovetail_sort.hpp"
+#include "dovetail/generators/synthetic.hpp"
+#include "dovetail/util/record.hpp"
+#include "test_util.hpp"
+
+using dovetail::dovetail_sort;
+using dovetail::kv32;
+using dovetail::kv64;
+using dovetail::sort_options;
+namespace gen = dovetail::gen;
+
+namespace {
+
+// Small parameters force deep recursion even on small test inputs.
+sort_options deep_options() {
+  sort_options o;
+  o.gamma = 4;
+  o.base_case = 32;
+  return o;
+}
+
+template <typename Rec>
+void check_against_reference(std::vector<Rec> data, const sort_options& opt) {
+  auto key = [](const Rec& r) { return r.key; };
+  std::vector<Rec> ref = data;
+  std::stable_sort(ref.begin(), ref.end(), [&](const Rec& a, const Rec& b) {
+    return a.key < b.key;
+  });
+  dovetail_sort(std::span<Rec>(data), key, opt);
+  ASSERT_EQ(data.size(), ref.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_EQ(data[i].key, ref[i].key) << "at index " << i;
+    ASSERT_EQ(data[i].value, ref[i].value) << "stability broken at " << i;
+  }
+}
+
+}  // namespace
+
+TEST(DovetailSort, EmptyAndTiny) {
+  std::vector<std::uint32_t> v;
+  dovetail_sort(std::span<std::uint32_t>(v));
+  EXPECT_TRUE(v.empty());
+  v = {5};
+  dovetail_sort(std::span<std::uint32_t>(v));
+  EXPECT_EQ(v, (std::vector<std::uint32_t>{5}));
+  v = {9, 3};
+  dovetail_sort(std::span<std::uint32_t>(v));
+  EXPECT_EQ(v, (std::vector<std::uint32_t>{3, 9}));
+}
+
+TEST(DovetailSort, AllEqualKeysPreserveOrder) {
+  std::vector<kv32> v(5000);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = {42, (std::uint32_t)i};
+  check_against_reference(v, deep_options());
+}
+
+TEST(DovetailSort, AlreadySortedAndReversed) {
+  std::vector<kv32> v(20000);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = {(std::uint32_t)i, (std::uint32_t)i};
+  check_against_reference(v, deep_options());
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = {(std::uint32_t)(v.size() - i), (std::uint32_t)i};
+  check_against_reference(v, deep_options());
+}
+
+TEST(DovetailSort, KeysAtTypeExtremes) {
+  std::vector<kv32> v;
+  for (std::uint32_t i = 0; i < 3000; ++i) {
+    v.push_back({0u, 3 * i});
+    v.push_back({0xFFFFFFFFu, 3 * i + 1});
+    v.push_back({0x80000000u, 3 * i + 2});
+  }
+  check_against_reference(v, deep_options());
+}
+
+TEST(DovetailSort, KeysAtTypeExtremes64) {
+  std::vector<kv64> v;
+  for (std::uint64_t i = 0; i < 3000; ++i) {
+    v.push_back({0ull, 3 * i});
+    v.push_back({~0ull, 3 * i + 1});
+    v.push_back({1ull << 63, 3 * i + 2});
+  }
+  check_against_reference(v, deep_options());
+}
+
+TEST(DovetailSort, TwoDistinctKeysHeavy) {
+  std::vector<kv32> v(40000);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = {i % 3 == 0 ? 7u : 123456789u, (std::uint32_t)i};
+  check_against_reference(v, deep_options());
+}
+
+TEST(DovetailSort, SingleHeavyKeyAmongUniform) {
+  std::vector<kv32> v(50000);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i % 2 == 0)
+      v[i] = {55555u, (std::uint32_t)i};
+    else
+      v[i] = {(std::uint32_t)dovetail::par::hash64(i), (std::uint32_t)i};
+  }
+  check_against_reference(v, deep_options());
+}
+
+TEST(DovetailSort, DefaultOptionsLargeUniform) {
+  auto v = gen::generate_records<kv32>({gen::dist_kind::uniform, 1e9, "u"},
+                                       200000, 3);
+  check_against_reference(v, {});
+}
+
+TEST(DovetailSort, DefaultOptionsLargeZipf) {
+  auto v = gen::generate_records<kv32>({gen::dist_kind::zipfian, 1.2, "z"},
+                                       200000, 4);
+  check_against_reference(v, {});
+}
+
+TEST(DovetailSort, DeepRecursionZipf64) {
+  auto v = gen::generate_records<kv64>({gen::dist_kind::zipfian, 1.0, "z"},
+                                       100000, 5);
+  check_against_reference(v, deep_options());
+}
+
+TEST(DovetailSort, BExpAdversarial32) {
+  for (double t : {10.0, 100.0, 300.0}) {
+    auto v = gen::generate_records<kv32>({gen::dist_kind::bexp, t, "b"},
+                                         80000, 6);
+    check_against_reference(v, deep_options());
+  }
+}
+
+TEST(DovetailSort, BExpAdversarial64) {
+  auto v = gen::generate_records<kv64>({gen::dist_kind::bexp, 50, "b"},
+                                       80000, 7);
+  check_against_reference(v, deep_options());
+}
+
+TEST(DovetailSort, PlainModeNoHeavyDetection) {
+  auto o = deep_options();
+  o.detect_heavy = false;
+  auto v = gen::generate_records<kv32>({gen::dist_kind::zipfian, 1.5, "z"},
+                                       100000, 8);
+  check_against_reference(v, o);
+}
+
+TEST(DovetailSort, PlMergeMode) {
+  auto o = deep_options();
+  o.use_dt_merge = false;
+  auto v = gen::generate_records<kv32>({gen::dist_kind::zipfian, 1.5, "z"},
+                                       100000, 9);
+  check_against_reference(v, o);
+}
+
+TEST(DovetailSort, NoRangeDetection) {
+  auto o = deep_options();
+  o.skip_leading_bits = false;
+  auto v = gen::generate_records<kv32>({gen::dist_kind::exponential, 10, "e"},
+                                       100000, 10);
+  check_against_reference(v, o);
+}
+
+TEST(DovetailSort, SmallKeyRangeUsesOverflowPath) {
+  // Keys in [0, 100): leading bits skipped; a few outliers go to the
+  // overflow bucket.
+  std::vector<kv32> v(60000);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    std::uint32_t k = (std::uint32_t)(dovetail::par::hash64(i) % 100);
+    if (i % 9999 == 0) k = 0xFFFF0000u + (std::uint32_t)i;  // outliers
+    v[i] = {k, (std::uint32_t)i};
+  }
+  check_against_reference(v, deep_options());
+}
+
+TEST(DovetailSort, KeysOnlyInterface) {
+  auto keys = gen::generate_keys<std::uint32_t>(
+      {gen::dist_kind::exponential, 5, "e"}, 150000, 11);
+  auto ref = keys;
+  std::sort(ref.begin(), ref.end());
+  dovetail_sort(std::span<std::uint32_t>(keys));
+  EXPECT_EQ(keys, ref);
+}
+
+TEST(DovetailSort, DeterministicAcrossRuns) {
+  auto v1 = gen::generate_records<kv32>({gen::dist_kind::zipfian, 1.2, "z"},
+                                        50000, 12);
+  auto v2 = v1;
+  dovetail_sort(std::span<kv32>(v1), dovetail::key_of_kv32, deep_options());
+  dovetail_sort(std::span<kv32>(v2), dovetail::key_of_kv32, deep_options());
+  EXPECT_TRUE(std::equal(v1.begin(), v1.end(), v2.begin()));
+}
+
+TEST(DovetailSort, GammaSweepCorrect) {
+  auto base = gen::generate_records<kv32>({gen::dist_kind::zipfian, 1.0, "z"},
+                                          60000, 13);
+  for (int gamma : {2, 3, 5, 8, 10, 12}) {
+    sort_options o;
+    o.gamma = gamma;
+    o.base_case = 64;
+    check_against_reference(base, o);
+  }
+}
+
+TEST(DovetailSort, ThetaSweepCorrect) {
+  auto base = gen::generate_records<kv32>(
+      {gen::dist_kind::exponential, 7, "e"}, 60000, 14);
+  for (std::size_t theta : {2ul, 16ul, 256ul, 4096ul, 1ul << 16}) {
+    sort_options o;
+    o.gamma = 6;
+    o.base_case = theta;
+    check_against_reference(base, o);
+  }
+}
+
+TEST(DovetailSort, SeedVariationStillCorrect) {
+  auto base = gen::generate_records<kv32>({gen::dist_kind::zipfian, 1.5, "z"},
+                                          60000, 15);
+  for (std::uint64_t seed : {1ull, 99ull, 123456789ull}) {
+    sort_options o = deep_options();
+    o.seed = seed;
+    check_against_reference(base, o);
+  }
+}
+
+TEST(DovetailSort, OddSizesAroundPowersOfTwo) {
+  for (std::size_t n :
+       {31ul, 32ul, 33ul, 1023ul, 1024ul, 1025ul, 65535ul, 65537ul}) {
+    auto v = gen::generate_records<kv32>({gen::dist_kind::zipfian, 1.0, "z"},
+                                         n, 16 + n);
+    check_against_reference(v, deep_options());
+  }
+}

@@ -1,0 +1,155 @@
+// Standalone property tests for DTMerge (Alg 3), exercising both the
+// light-smaller and heavy-smaller branches, the overlapping (two-flip) and
+// disjoint move paths, and stability — validated against a reference merge.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dovetail/core/dt_merge.hpp"
+#include "dovetail/parallel/random.hpp"
+#include "dovetail/util/record.hpp"
+
+using dovetail::dt_merge;
+using dovetail::kv32;
+using dovetail::pl_merge;
+namespace par = dovetail::par;
+
+namespace {
+
+constexpr auto key_fn = [](const kv32& r) { return r.key; };
+
+// Build a zone: sorted light bucket (keys drawn from `light_keys`, never a
+// heavy key), then heavy buckets in key order. Values record global input
+// order so stability is checkable.
+struct zone_case {
+  std::vector<kv32> zone;
+  std::size_t light_size;
+  std::vector<std::size_t> heavy_sizes;
+};
+
+zone_case build_case(std::size_t num_light,
+                     const std::vector<std::pair<std::uint32_t, std::size_t>>&
+                         heavy /* key -> count */,
+                     std::uint64_t seed) {
+  zone_case c;
+  std::vector<std::uint32_t> hset;
+  for (auto& [k, cnt] : heavy) hset.push_back(k);
+  std::vector<std::uint32_t> lkeys;
+  for (std::size_t i = 0; lkeys.size() < num_light; ++i) {
+    auto k = static_cast<std::uint32_t>(par::rand_range(seed, i, 1000));
+    if (std::find(hset.begin(), hset.end(), k) == hset.end())
+      lkeys.push_back(k);
+  }
+  std::sort(lkeys.begin(), lkeys.end());
+  std::uint32_t v = 0;
+  for (auto k : lkeys) c.zone.push_back({k, v++});
+  c.light_size = num_light;
+  for (auto& [k, cnt] : heavy) {
+    c.heavy_sizes.push_back(cnt);
+    for (std::size_t i = 0; i < cnt; ++i) c.zone.push_back({k, v++});
+  }
+  return c;
+}
+
+void check_merge(zone_case c, bool use_dt) {
+  // Reference: stable sort by key of the whole zone. Light values are
+  // assigned in sorted order and heavy buckets are in key order, so a
+  // stable sort reproduces exactly what a correct dovetail merge must give.
+  auto expect = c.zone;
+  std::stable_sort(expect.begin(), expect.end(),
+                   [](const kv32& a, const kv32& b) { return a.key < b.key; });
+  std::vector<kv32> tmp(c.zone.size());
+  if (use_dt)
+    dt_merge(std::span<kv32>(c.zone), c.light_size,
+             std::span<const std::size_t>(c.heavy_sizes), key_fn,
+             std::span<kv32>(tmp));
+  else
+    pl_merge(std::span<kv32>(c.zone), c.light_size, key_fn,
+             std::span<kv32>(tmp));
+  ASSERT_EQ(c.zone.size(), expect.size());
+  for (std::size_t i = 0; i < c.zone.size(); ++i) {
+    ASSERT_EQ(c.zone[i].key, expect[i].key) << "key mismatch at " << i;
+    ASSERT_EQ(c.zone[i].value, expect[i].value) << "stability broken at " << i;
+  }
+}
+
+}  // namespace
+
+TEST(DTMerge, NoHeavyBucketsIsNoop) {
+  auto c = build_case(100, {}, 1);
+  check_merge(c, true);
+}
+
+TEST(DTMerge, EmptyLightBucket) {
+  auto c = build_case(0, {{5, 50}, {9, 30}}, 2);
+  check_merge(c, true);
+}
+
+TEST(DTMerge, HeavyLargerSingleBucket) {
+  check_merge(build_case(20, {{500, 200}}, 3), true);
+}
+
+TEST(DTMerge, HeavyLargerManyBuckets) {
+  check_merge(build_case(50, {{10, 40}, {300, 80}, {700, 60}, {999, 20}}, 4),
+              true);
+}
+
+TEST(DTMerge, LightLargerSingleBucket) {
+  check_merge(build_case(500, {{123, 30}}, 5), true);
+}
+
+TEST(DTMerge, LightLargerManyBuckets) {
+  check_merge(build_case(800, {{10, 5}, {300, 40}, {700, 25}, {999, 10}}, 6),
+              true);
+}
+
+TEST(DTMerge, HeavyKeySmallerThanAllLight) {
+  check_merge(build_case(300, {{0, 50}}, 7), true);
+  check_merge(build_case(30, {{0, 300}}, 8), true);
+}
+
+TEST(DTMerge, HeavyKeyLargerThanAllLight) {
+  check_merge(build_case(300, {{1000000, 50}}, 9), true);
+  check_merge(build_case(30, {{1000000, 300}}, 10), true);
+}
+
+TEST(DTMerge, OverlapForcedLeftwardFlip) {
+  // One huge heavy bucket whose destination overlaps its source.
+  check_merge(build_case(10, {{500, 5000}}, 11), true);
+}
+
+TEST(DTMerge, OverlapForcedRightwardFlip) {
+  // One huge light chunk shifted right by a small heavy bucket.
+  check_merge(build_case(5000, {{0, 3}}, 12), true);
+}
+
+TEST(DTMerge, EqualSplitSizes) {
+  check_merge(build_case(100, {{500, 100}}, 13), true);
+}
+
+TEST(DTMerge, PlMergeBaselineAgrees) {
+  check_merge(build_case(500, {{10, 40}, {300, 80}, {700, 60}}, 14), false);
+  check_merge(build_case(40, {{10, 400}, {300, 800}}, 15), false);
+}
+
+// Randomized sweep over bucket configurations: both branches, many shapes.
+class DTMergeRandom : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Sweep, DTMergeRandom, ::testing::Range(0, 40));
+
+TEST_P(DTMergeRandom, MatchesReference) {
+  const std::uint64_t seed = 100 + static_cast<std::uint64_t>(GetParam());
+  const std::size_t num_light = par::rand_range(seed, 0, 2000);
+  const std::size_t m = par::rand_range(seed, 1, 12);
+  std::vector<std::pair<std::uint32_t, std::size_t>> heavy;
+  std::uint32_t k = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    k += 1 + static_cast<std::uint32_t>(par::rand_range(seed, 10 + i, 120));
+    heavy.push_back(
+        {k, 1 + static_cast<std::size_t>(par::rand_range(seed, 50 + i, 500))});
+  }
+  check_merge(build_case(num_light, heavy, seed), true);
+  check_merge(build_case(num_light, heavy, seed), false);
+}

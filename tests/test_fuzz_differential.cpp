@@ -1,0 +1,124 @@
+// Randomized differential testing: for a sweep of deterministic seeds,
+// build an input by mixing distribution fragments (sorted runs, constant
+// runs, random blocks, bit-patterned keys), pick random-but-valid sort
+// options, and compare DovetailSort byte-for-byte against
+// std::stable_sort. Every failure is reproducible from the seed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dovetail/core/dovetail_sort.hpp"
+#include "dovetail/parallel/random.hpp"
+#include "dovetail/util/record.hpp"
+
+using namespace dovetail;
+namespace par = dovetail::par;
+
+namespace {
+
+std::vector<kv32> build_mixed_input(std::uint64_t seed) {
+  const std::size_t n = 20000 + par::rand_range(seed, 0, 80000);
+  std::vector<kv32> v;
+  v.reserve(n);
+  std::uint64_t chunk_id = 1;
+  while (v.size() < n) {
+    const std::size_t len =
+        std::min(n - v.size(),
+                 static_cast<std::size_t>(1 + par::rand_range(seed, chunk_id,
+                                                              5000)));
+    const std::uint64_t kind = par::rand_range(seed, chunk_id + 1000000, 6);
+    const std::uint64_t base = par::rand_at(seed, chunk_id + 2000000);
+    for (std::size_t i = 0; i < len; ++i) {
+      std::uint32_t key = 0;
+      switch (kind) {
+        case 0:  // constant run (heavy key)
+          key = static_cast<std::uint32_t>(base);
+          break;
+        case 1:  // ascending run
+          key = static_cast<std::uint32_t>(base + i);
+          break;
+        case 2:  // descending run
+          key = static_cast<std::uint32_t>(base - i);
+          break;
+        case 3:  // random
+          key = static_cast<std::uint32_t>(
+              par::rand_at(seed, chunk_id * 101 + i));
+          break;
+        case 4:  // few distinct values
+          key = static_cast<std::uint32_t>(
+              base + par::rand_range(seed, chunk_id * 103 + i, 3) * 977);
+          break;
+        default:  // bit-sparse keys (BExp-ish)
+          key = static_cast<std::uint32_t>(base) &
+                static_cast<std::uint32_t>(par::rand_at(seed,
+                                                        chunk_id * 107 + i)) &
+                static_cast<std::uint32_t>(par::rand_at(seed,
+                                                        chunk_id * 109 + i));
+          break;
+      }
+      v.push_back({key, static_cast<std::uint32_t>(v.size())});
+    }
+    ++chunk_id;
+  }
+  return v;
+}
+
+sort_options random_options(std::uint64_t seed) {
+  sort_options o;
+  o.gamma = static_cast<int>(2 + par::rand_range(seed, 11, 11));  // 2..12
+  o.base_case = std::size_t{1} << par::rand_range(seed, 12, 15);  // 1..2^14
+  o.detect_heavy = par::rand_range(seed, 13, 2) == 0;
+  o.use_dt_merge = par::rand_range(seed, 14, 2) == 0;
+  o.skip_leading_bits = par::rand_range(seed, 15, 2) == 0;
+  o.seed = par::rand_at(seed, 16);
+  return o;
+}
+
+}  // namespace
+
+class FuzzDifferential : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferential, ::testing::Range(0, 48));
+
+TEST_P(FuzzDifferential, MatchesStdStableSort) {
+  const auto seed = static_cast<std::uint64_t>(1000 + GetParam());
+  auto v = build_mixed_input(seed);
+  const sort_options opt = random_options(seed);
+  auto ref = v;
+  std::stable_sort(ref.begin(), ref.end(), [](const kv32& a, const kv32& b) {
+    return a.key < b.key;
+  });
+  dovetail_sort(std::span<kv32>(v), key_of_kv32, opt);
+  ASSERT_EQ(v.size(), ref.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    ASSERT_EQ(v[i].key, ref[i].key)
+        << "seed=" << seed << " i=" << i << " gamma=" << opt.gamma
+        << " theta=" << opt.base_case << " heavy=" << opt.detect_heavy
+        << " dtm=" << opt.use_dt_merge << " ovf=" << opt.skip_leading_bits;
+    ASSERT_EQ(v[i].value, ref[i].value)
+        << "stability broken; seed=" << seed << " i=" << i;
+  }
+}
+
+TEST(FuzzDifferential64, MixedInputs64Bit) {
+  for (std::uint64_t seed = 5000; seed < 5012; ++seed) {
+    const std::size_t n = 30000 + par::rand_range(seed, 0, 50000);
+    std::vector<kv64> v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Mix narrow and wide keys within one input.
+      const std::uint64_t wide = par::rand_at(seed, i);
+      const std::uint64_t k = (i % 3 == 0) ? (wide & 0xFFFF) : wide;
+      v[i] = {k, i};
+    }
+    auto ref = v;
+    std::stable_sort(ref.begin(), ref.end(),
+                     [](const kv64& a, const kv64& b) { return a.key < b.key; });
+    dovetail_sort(std::span<kv64>(v), key_of_kv64, random_options(seed));
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(v[i].key, ref[i].key) << "seed=" << seed;
+      ASSERT_EQ(v[i].value, ref[i].value) << "seed=" << seed;
+    }
+  }
+}

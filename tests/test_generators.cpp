@@ -1,0 +1,171 @@
+// Sanity tests for the synthetic distribution, graph, and point generators:
+// determinism, ranges, and the statistical properties the experiments rely
+// on (duplicate structure / skew).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "dovetail/generators/graphs.hpp"
+#include "dovetail/generators/points.hpp"
+#include "dovetail/generators/synthetic.hpp"
+
+using namespace dovetail;
+namespace gen = dovetail::gen;
+
+TEST(Generators, Deterministic) {
+  gen::distribution d{gen::dist_kind::zipfian, 1.2, "z"};
+  auto a = gen::generate_keys<std::uint32_t>(d, 10000, 5);
+  auto b = gen::generate_keys<std::uint32_t>(d, 10000, 5);
+  EXPECT_EQ(a, b);
+  auto c = gen::generate_keys<std::uint32_t>(d, 10000, 6);
+  EXPECT_NE(a, c);
+}
+
+TEST(Generators, UniformDistinctCountApproximatelyMu) {
+  for (double mu : {10.0, 1000.0}) {
+    auto keys = gen::generate_keys<std::uint32_t>(
+        {gen::dist_kind::uniform, mu, "u"}, 100000, 7);
+    std::unordered_set<std::uint32_t> distinct(keys.begin(), keys.end());
+    EXPECT_LE(distinct.size(), static_cast<std::size_t>(mu) + 1);
+    EXPECT_GE(distinct.size(), static_cast<std::size_t>(mu * 0.9));
+  }
+}
+
+TEST(Generators, UniformLargeMuNearlyAllDistinct) {
+  auto keys = gen::generate_keys<std::uint64_t>(
+      {gen::dist_kind::uniform, 1e9, "u"}, 100000, 8);
+  std::unordered_set<std::uint64_t> distinct(keys.begin(), keys.end());
+  EXPECT_GT(distinct.size(), 99000u);
+}
+
+TEST(Generators, ExponentialHeavierWithLargerLambda) {
+  auto count_distinct = [](double lambda) {
+    auto keys = gen::generate_keys<std::uint32_t>(
+        {gen::dist_kind::exponential, lambda, "e"}, 200000, 9);
+    return std::unordered_set<std::uint32_t>(keys.begin(), keys.end()).size();
+  };
+  // Larger lambda => fewer distinct keys (more duplicates).
+  EXPECT_GT(count_distinct(1), count_distinct(10));
+}
+
+TEST(Generators, ZipfTopKeyFrequencyGrowsWithS) {
+  auto top_freq = [](double s) {
+    auto keys = gen::generate_keys<std::uint32_t>(
+        {gen::dist_kind::zipfian, s, "z"}, 200000, 10);
+    std::map<std::uint32_t, std::size_t> freq;
+    for (auto k : keys) ++freq[k];
+    std::size_t best = 0;
+    for (auto& [k, c] : freq) best = std::max(best, c);
+    return best;
+  };
+  const auto f06 = top_freq(0.6);
+  const auto f15 = top_freq(1.5);
+  EXPECT_GT(f15, 4 * f06);
+}
+
+TEST(Generators, BExpBitDensityMatchesT) {
+  // With parameter t the probability of a 0 bit is 1/t.
+  for (double t : {10.0, 100.0}) {
+    auto keys = gen::generate_keys<std::uint32_t>(
+        {gen::dist_kind::bexp, t, "b"}, 50000, 11);
+    std::size_t zeros = 0, total = 0;
+    for (auto k : keys) {
+      zeros += 32 - static_cast<std::size_t>(std::popcount(k));
+      total += 32;
+    }
+    const double ratio = static_cast<double>(zeros) / static_cast<double>(total);
+    EXPECT_NEAR(ratio, 1.0 / t, 0.15 / t) << "t=" << t;
+  }
+}
+
+TEST(Generators, BExp64BitAlsoCovered) {
+  auto keys = gen::generate_keys<std::uint64_t>(
+      {gen::dist_kind::bexp, 30, "b"}, 20000, 12);
+  std::size_t zeros = 0;
+  for (auto k : keys) zeros += 64 - static_cast<std::size_t>(std::popcount(k));
+  const double ratio =
+      static_cast<double>(zeros) / (64.0 * static_cast<double>(keys.size()));
+  EXPECT_NEAR(ratio, 1.0 / 30, 0.01);
+}
+
+TEST(Generators, PaperDistributionListShape) {
+  auto all = gen::paper_distributions();
+  ASSERT_EQ(all.size(), 20u);
+  EXPECT_EQ(all[0].name, "Unif-1e9");
+  EXPECT_EQ(all[19].name, "BExp-300");
+  auto std15 = gen::standard_distributions();
+  ASSERT_EQ(std15.size(), 15u);
+  EXPECT_EQ(std15.back().name, "Zipf-1.5");
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(GraphGenerators, EdgesInRange) {
+  const std::uint32_t V = 1000;
+  for (auto edges : {gen::powerlaw_graph(V, 20000, 1.1),
+                     gen::uniform_graph(V, 20000), gen::knn_graph(V, 8)}) {
+    for (const auto& e : edges) {
+      ASSERT_LT(e.src, V);
+      ASSERT_LT(e.dst, V);
+    }
+  }
+}
+
+TEST(GraphGenerators, PowerlawInDegreeIsSkewed) {
+  const std::uint32_t V = 10000;
+  auto edges = gen::powerlaw_graph(V, 200000, 1.2, 99);
+  std::vector<std::size_t> indeg(V, 0);
+  for (const auto& e : edges) ++indeg[e.dst];
+  const std::size_t max_in = *std::max_element(indeg.begin(), indeg.end());
+  EXPECT_GT(max_in, 200000 / V * 50);  // far above the average degree
+}
+
+TEST(GraphGenerators, KnnInDegreeIsEven) {
+  const std::uint32_t V = 5000, deg = 10;
+  auto edges = gen::knn_graph(V, deg, 100);
+  std::vector<std::size_t> indeg(V, 0);
+  for (const auto& e : edges) ++indeg[e.dst];
+  const std::size_t max_in = *std::max_element(indeg.begin(), indeg.end());
+  EXPECT_LT(max_in, 5 * deg);  // concentrated near the average
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(PointGenerators, CoordinatesWithinBits) {
+  auto pts = gen::uniform_points_2d(20000, 16, 101);
+  for (const auto& p : pts) {
+    ASSERT_LT(p.x, 1u << 16);
+    ASSERT_LT(p.y, 1u << 16);
+  }
+  auto v = gen::varden_points_2d(20000, 64, 16, 102);
+  for (const auto& p : v) {
+    ASSERT_LT(p.x, 1u << 16);
+    ASSERT_LT(p.y, 1u << 16);
+  }
+}
+
+TEST(PointGenerators, VardenIsMoreClusteredThanUniform) {
+  // Compare the number of distinct coarse grid cells hit: clustered points
+  // occupy far fewer cells.
+  auto cells = [](const std::vector<app::point2d>& pts) {
+    std::unordered_set<std::uint32_t> s;
+    for (const auto& p : pts) s.insert((p.x >> 10) << 6 | (p.y >> 10));
+    return s.size();
+  };
+  auto u = gen::uniform_points_2d(50000, 16, 103);
+  auto v = gen::varden_points_2d(50000, 32, 16, 104);
+  EXPECT_GT(cells(u), 2 * cells(v));
+}
+
+TEST(PointGenerators, Varden3dInRange) {
+  auto pts = gen::varden_points_3d(20000, 32, 21, 105);
+  for (const auto& p : pts) {
+    ASSERT_LT(p.x, 1u << 21);
+    ASSERT_LT(p.y, 1u << 21);
+    ASSERT_LT(p.z, 1u << 21);
+  }
+}

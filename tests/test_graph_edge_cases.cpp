@@ -1,0 +1,95 @@
+// Edge-case tests for the CSR graph representation and transpose: self
+// loops, parallel edges, single-sink stars (one vertex with the entire
+// in-degree — the extreme heavy-key case), empty graphs, and vertices with
+// no edges at all.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "dovetail/apps/graph.hpp"
+#include "dovetail/core/dovetail_sort.hpp"
+
+using namespace dovetail;
+using app::csr_graph;
+using app::edge;
+
+namespace {
+constexpr auto dt = [](auto span, auto key) { dovetail_sort(span, key); };
+}
+
+TEST(GraphEdgeCases, SelfLoopsSurviveTranspose) {
+  std::vector<edge> edges = {{0, 0}, {1, 1}, {2, 2}, {1, 0}};
+  auto g = app::build_csr(3, edges, dt);
+  auto gt = app::transpose(g, dt);
+  ASSERT_EQ(gt.num_edges(), 4u);
+  // Self loops stay: in-neighbours of v include v itself.
+  EXPECT_EQ(gt.neighbors(0).size(), 2u);  // 0<-0, 0<-1
+  EXPECT_EQ(gt.neighbors(1).size(), 1u);
+  EXPECT_EQ(gt.neighbors(2).size(), 1u);
+}
+
+TEST(GraphEdgeCases, ParallelEdgesPreservedWithMultiplicity) {
+  std::vector<edge> edges = {{0, 1}, {0, 1}, {0, 1}, {2, 1}};
+  auto g = app::build_csr(3, edges, dt);
+  auto gt = app::transpose(g, dt);
+  ASSERT_EQ(gt.neighbors(1).size(), 4u);
+  // Stable: three copies of source 0 precede source 2.
+  EXPECT_EQ(gt.neighbors(1)[0], 0u);
+  EXPECT_EQ(gt.neighbors(1)[2], 0u);
+  EXPECT_EQ(gt.neighbors(1)[3], 2u);
+}
+
+TEST(GraphEdgeCases, StarGraphSingleSink) {
+  // Every edge points at vertex 7: the most extreme duplicate-key input.
+  const std::uint32_t v = 1000;
+  std::vector<edge> edges;
+  for (std::uint32_t u = 0; u < v; ++u)
+    if (u != 7) edges.push_back({u, 7});
+  auto g = app::build_csr(v, edges, dt);
+  auto gt = app::transpose(g, dt);
+  ASSERT_EQ(gt.neighbors(7).size(), v - 1);
+  // Stable transpose lists sources in ascending order.
+  for (std::size_t i = 1; i < gt.neighbors(7).size(); ++i)
+    ASSERT_LT(gt.neighbors(7)[i - 1], gt.neighbors(7)[i]);
+  for (std::uint32_t u = 0; u < v; ++u) {
+    if (u != 7) {
+      ASSERT_EQ(gt.neighbors(u).size(), 0u);
+    }
+  }
+}
+
+TEST(GraphEdgeCases, IsolatedVerticesKeepEmptyRanges) {
+  std::vector<edge> edges = {{2, 5}};
+  auto g = app::build_csr(10, edges, dt);
+  auto gt = app::transpose(g, dt);
+  for (std::uint32_t u = 0; u < 10; ++u) {
+    const std::size_t expect = (u == 5) ? 1 : 0;
+    ASSERT_EQ(gt.neighbors(u).size(), expect) << u;
+  }
+  ASSERT_EQ(gt.offsets.front(), 0u);
+  ASSERT_EQ(gt.offsets.back(), 1u);
+}
+
+TEST(GraphEdgeCases, SingleVertexGraph) {
+  std::vector<edge> edges = {{0, 0}, {0, 0}};
+  auto g = app::build_csr(1, edges, dt);
+  auto gt = app::transpose(g, dt);
+  EXPECT_EQ(gt.num_vertices, 1u);
+  EXPECT_EQ(gt.neighbors(0).size(), 2u);
+}
+
+TEST(GraphEdgeCases, CsrRoundTripThroughEdgeList) {
+  std::vector<edge> edges = {{3, 1}, {0, 2}, {3, 0}, {1, 1}};
+  auto g = app::build_csr(4, edges, dt);
+  auto back = app::csr_to_edges(g);
+  // Edge list comes back grouped by source; same multiset of edges.
+  auto canon = [](std::vector<edge> e) {
+    std::sort(e.begin(), e.end(), [](const edge& a, const edge& b) {
+      return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+    });
+    return e;
+  };
+  EXPECT_EQ(canon(back), canon(edges));
+}

@@ -1,0 +1,132 @@
+// End-to-end integration tests: full pipelines combining generators, the
+// sorters, and the applications, plus thread-count robustness.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "dovetail/apps/graph.hpp"
+#include "dovetail/apps/morton.hpp"
+#include "dovetail/core/dovetail_sort.hpp"
+#include "dovetail/generators/graphs.hpp"
+#include "dovetail/generators/points.hpp"
+#include "dovetail/generators/synthetic.hpp"
+#include "dovetail/parallel/scheduler.hpp"
+#include "dovetail/util/algorithms.hpp"
+#include "dovetail/util/record.hpp"
+#include "test_util.hpp"
+
+using namespace dovetail;
+namespace gen = dovetail::gen;
+
+namespace {
+constexpr auto dt_sorter = [](auto span, auto key) {
+  dovetail_sort(span, key);
+};
+}
+
+TEST(Integration, TransposePipelineAcrossAllSorters) {
+  const std::uint32_t V = 1500;
+  auto edges = gen::powerlaw_graph(V, 40000, 1.1, 501);
+  auto g = app::build_csr(V, edges, dt_sorter);
+  app::csr_graph ref = app::transpose(g, [](auto span, auto key) {
+    run_sorter(algo::std_stable, span, key);
+  });
+  for (algo a : {algo::dtsort, algo::plis, algo::lsd, algo::ips4o}) {
+    auto gt = app::transpose(g, [a](auto span, auto key) {
+      run_sorter(a, span, key);
+    });
+    ASSERT_EQ(gt.offsets, ref.offsets) << algo_name(a);
+    ASSERT_EQ(gt.targets, ref.targets) << algo_name(a);
+  }
+}
+
+TEST(Integration, MortonPipelineAcrossStableSorters) {
+  auto pts = gen::varden_points_2d(30000, 32, 16, 502);
+  auto ref = app::morton_sort_2d(std::span<const app::point2d>(pts),
+                                 [](auto span, auto key) {
+                                   run_sorter(algo::std_stable, span, key);
+                                 });
+  for (algo a : {algo::dtsort, algo::plis, algo::lsd, algo::ips4o}) {
+    auto got = app::morton_sort_2d(std::span<const app::point2d>(pts),
+                                   [a](auto span, auto key) {
+                                     run_sorter(a, span, key);
+                                   });
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+      ASSERT_EQ(got[i], ref[i]) << algo_name(a) << " at " << i;
+  }
+}
+
+TEST(Integration, DuplicateHistogramViaSort) {
+  // Frequency counting via sort + scan over runs — a semisort-style use.
+  auto keys = gen::generate_keys<std::uint32_t>(
+      {gen::dist_kind::zipfian, 1.3, "z"}, 200000, 503);
+  std::map<std::uint32_t, std::size_t> expect;
+  for (auto k : keys) ++expect[k];
+  dovetail_sort(std::span<std::uint32_t>(keys));
+  std::map<std::uint32_t, std::size_t> got;
+  std::size_t i = 0;
+  while (i < keys.size()) {
+    std::size_t j = i;
+    while (j < keys.size() && keys[j] == keys[i]) ++j;
+    got[keys[i]] = j - i;
+    i = j;
+  }
+  EXPECT_EQ(got, expect);
+}
+
+TEST(Integration, SingleThreadMatchesMultiThread) {
+  auto base = gen::generate_records<kv32>({gen::dist_kind::zipfian, 1.2, "z"},
+                                          120000, 504);
+  auto multi = base;
+  dovetail_sort(std::span<kv32>(multi), key_of_kv32);
+
+  par::scheduler::set_num_workers(1);
+  auto single = base;
+  dovetail_sort(std::span<kv32>(single), key_of_kv32);
+  par::scheduler::set_num_workers(par::scheduler::default_num_workers());
+
+  EXPECT_TRUE(std::equal(multi.begin(), multi.end(), single.begin()));
+}
+
+TEST(Integration, RepeatedSortsReuseScheduler) {
+  for (int round = 0; round < 10; ++round) {
+    auto v = gen::generate_records<kv32>(
+        {gen::dist_kind::exponential, 5, "e"}, 50000,
+        600 + static_cast<std::uint64_t>(round));
+    dovetail_sort(std::span<kv32>(v), key_of_kv32);
+    ASSERT_TRUE(dtt::sorted_by_key(std::span<const kv32>(v), key_of_kv32));
+    ASSERT_TRUE(
+        dtt::stable_by_index_value(std::span<const kv32>(v), key_of_kv32));
+  }
+}
+
+TEST(Integration, SortingSortedOutputIsIdempotent) {
+  auto v = gen::generate_records<kv64>({gen::dist_kind::zipfian, 1.0, "z"},
+                                       80000, 505);
+  dovetail_sort(std::span<kv64>(v), key_of_kv64);
+  auto once = v;
+  dovetail_sort(std::span<kv64>(v), key_of_kv64);
+  EXPECT_TRUE(std::equal(v.begin(), v.end(), once.begin()));
+}
+
+TEST(Integration, MixedPipelineTransposeOfMortonBuckets) {
+  // Exercise both apps in one flow: bucket points by coarse Morton cell,
+  // build a cell-adjacency graph, transpose it.
+  auto pts = gen::varden_points_2d(20000, 16, 16, 506);
+  std::vector<app::edge> edges(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const std::uint32_t cell =
+        app::morton2d_32(pts[i].x, pts[i].y) >> 24;  // 256 cells
+    edges[i] = {static_cast<std::uint32_t>(i % 256), cell};
+  }
+  auto g = app::build_csr(256, edges, dt_sorter);
+  auto gt = app::transpose(g, dt_sorter);
+  EXPECT_EQ(gt.num_edges(), edges.size());
+  auto gtt = app::transpose(gt, dt_sorter);
+  EXPECT_EQ(gtt.num_edges(), edges.size());
+}

@@ -1,0 +1,132 @@
+// Tests for the parallel merge (PLMerge building block) and the comparison
+// sort primitives (stable mergesort, quicksort).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "dovetail/parallel/merge.hpp"
+#include "dovetail/parallel/random.hpp"
+#include "dovetail/parallel/sort.hpp"
+
+namespace par = dovetail::par;
+
+namespace {
+std::vector<std::uint64_t> sorted_random(std::size_t n, std::uint64_t seed,
+                                         std::uint64_t bound) {
+  std::vector<std::uint64_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = par::rand_range(seed, i, bound);
+  std::sort(v.begin(), v.end());
+  return v;
+}
+}  // namespace
+
+class MergeSizes
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+using size_pair = std::pair<std::size_t, std::size_t>;
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MergeSizes,
+    ::testing::Values(size_pair{0, 0}, size_pair{0, 5}, size_pair{5, 0},
+                      size_pair{1, 1}, size_pair{10, 1000},
+                      size_pair{1000, 10}, size_pair{4096, 4096},
+                      size_pair{100000, 100000}, size_pair{1, 100000},
+                      size_pair{33333, 77777}));
+
+TEST_P(MergeSizes, MatchesStdMerge) {
+  auto [na, nb] = GetParam();
+  auto a = sorted_random(na, 1, 5000);
+  auto b = sorted_random(nb, 2, 5000);
+  std::vector<std::uint64_t> got(na + nb), expect(na + nb);
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), expect.begin());
+  par::merge(std::span<const std::uint64_t>(a),
+             std::span<const std::uint64_t>(b),
+             std::span<std::uint64_t>(got));
+  EXPECT_EQ(got, expect);
+}
+
+TEST(Merge, StabilityATakesPrecedenceOnTies) {
+  // Records carry a side tag; comparator only looks at the key.
+  struct rec {
+    std::uint32_t key;
+    char side;
+  };
+  std::vector<rec> a, b;
+  for (std::uint32_t i = 0; i < 5000; ++i) a.push_back({i / 5, 'a'});
+  for (std::uint32_t i = 0; i < 5000; ++i) b.push_back({i / 5, 'b'});
+  std::vector<rec> out(a.size() + b.size());
+  auto comp = [](const rec& x, const rec& y) { return x.key < y.key; };
+  par::merge(std::span<const rec>(a), std::span<const rec>(b),
+             std::span<rec>(out), comp, 64);
+  // Within each key, all 'a' records must precede all 'b' records.
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    if (out[i - 1].key == out[i].key) {
+      EXPECT_FALSE(out[i - 1].side == 'b' && out[i].side == 'a') << i;
+    }
+  }
+}
+
+class SortPrimitiveSizes : public ::testing::TestWithParam<std::size_t> {};
+INSTANTIATE_TEST_SUITE_P(Sweep, SortPrimitiveSizes,
+                         ::testing::Values(0, 1, 2, 100, 4095, 4096, 4097,
+                                           50000, 300000));
+
+TEST_P(SortPrimitiveSizes, MergeSortMatchesStdStableSort) {
+  const std::size_t n = GetParam();
+  std::vector<std::uint64_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = par::rand_range(9, i, 1000);
+  auto expect = v;
+  std::stable_sort(expect.begin(), expect.end());
+  par::merge_sort(std::span<std::uint64_t>(v));
+  EXPECT_EQ(v, expect);
+}
+
+TEST_P(SortPrimitiveSizes, QuickSortMatchesStdSort) {
+  const std::size_t n = GetParam();
+  std::vector<std::uint64_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = par::rand_range(10, i, 1000);
+  auto expect = v;
+  std::sort(expect.begin(), expect.end());
+  par::quick_sort(std::span<std::uint64_t>(v));
+  EXPECT_EQ(v, expect);
+}
+
+TEST(MergeSortStability, IndexTaggedRecords) {
+  struct rec {
+    std::uint32_t key;
+    std::uint32_t idx;
+  };
+  const std::size_t n = 100000;
+  std::vector<rec> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = {static_cast<std::uint32_t>(par::rand_range(11, i, 50)),
+            static_cast<std::uint32_t>(i)};
+  par::merge_sort(std::span<rec>(v), [](const rec& a, const rec& b) {
+    return a.key < b.key;
+  });
+  for (std::size_t i = 1; i < n; ++i) {
+    ASSERT_LE(v[i - 1].key, v[i].key);
+    if (v[i - 1].key == v[i].key) {
+      ASSERT_LT(v[i - 1].idx, v[i].idx);
+    }
+  }
+}
+
+TEST(QuickSort, AllEqualDoesNotDegrade) {
+  std::vector<std::uint64_t> v(200000, 7);
+  par::quick_sort(std::span<std::uint64_t>(v));
+  for (auto x : v) ASSERT_EQ(x, 7u);
+}
+
+TEST(QuickSort, AlreadySortedAndReverse) {
+  std::vector<std::uint64_t> v(100000);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = i;
+  par::quick_sort(std::span<std::uint64_t>(v));
+  for (std::size_t i = 0; i < v.size(); ++i) ASSERT_EQ(v[i], i);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = v.size() - i;
+  par::quick_sort(std::span<std::uint64_t>(v));
+  for (std::size_t i = 0; i < v.size(); ++i) ASSERT_EQ(v[i], i + 1);
+}

@@ -1,0 +1,83 @@
+// Exhaustive and structural tests for the Morton encodings: round-trips
+// over full small-coordinate spaces, the recursive quadrant structure of
+// the z-curve, and cross-checks between the 32- and 64-bit 2D encoders.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+
+#include "dovetail/apps/morton.hpp"
+
+namespace app = dovetail::app;
+
+TEST(MortonExhaustive, Bijective2dOver8BitCoordinates) {
+  // All 2^16 coordinate pairs map to distinct z-values covering [0, 2^16).
+  std::set<std::uint32_t> seen;
+  for (std::uint32_t x = 0; x < 256; ++x)
+    for (std::uint32_t y = 0; y < 256; ++y) {
+      const std::uint32_t z = app::morton2d_32(x, y);
+      ASSERT_LT(z, 1u << 16);
+      ASSERT_TRUE(seen.insert(z).second) << x << "," << y;
+    }
+  EXPECT_EQ(seen.size(), 1u << 16);
+}
+
+TEST(MortonExhaustive, Bijective3dOver4BitCoordinates) {
+  std::set<std::uint64_t> seen;
+  for (std::uint32_t x = 0; x < 16; ++x)
+    for (std::uint32_t y = 0; y < 16; ++y)
+      for (std::uint32_t z = 0; z < 16; ++z) {
+        const std::uint64_t m = app::morton3d_63(x, y, z);
+        ASSERT_LT(m, 1u << 12);
+        ASSERT_TRUE(seen.insert(m).second);
+      }
+  EXPECT_EQ(seen.size(), 1u << 12);
+}
+
+TEST(MortonExhaustive, QuadrantStructure) {
+  // The top two z-bits select the quadrant: (x<2^15, y<2^15) -> 00, etc.
+  for (std::uint32_t xs = 0; xs < 2; ++xs)
+    for (std::uint32_t ys = 0; ys < 2; ++ys) {
+      const std::uint32_t x = xs << 15 | 0x1234;
+      const std::uint32_t y = ys << 15 | 0x0F0F;
+      const std::uint32_t z = app::morton2d_32(x, y);
+      EXPECT_EQ(z >> 30, ys << 1 | xs);
+    }
+}
+
+TEST(MortonExhaustive, Wide2dAgreesWithNarrowOnLow16Bits) {
+  for (std::uint32_t x : {0u, 1u, 255u, 0xFFFFu, 0xABCDu})
+    for (std::uint32_t y : {0u, 1u, 255u, 0xFFFFu, 0x1357u}) {
+      const std::uint64_t wide = app::morton2d_64(x, y);
+      const std::uint32_t narrow = app::morton2d_32(x, y);
+      EXPECT_EQ(static_cast<std::uint32_t>(wide & 0xFFFFFFFFu), narrow);
+    }
+}
+
+TEST(MortonExhaustive, Wide2dUsesAll64Bits) {
+  const std::uint64_t z = app::morton2d_64(0xFFFFFFFFu, 0xFFFFFFFFu);
+  EXPECT_EQ(z, ~0ull);
+  EXPECT_EQ(app::morton2d_64(0xFFFFFFFFu, 0), 0x5555555555555555ull);
+  EXPECT_EQ(app::morton2d_64(0, 0xFFFFFFFFu), 0xAAAAAAAAAAAAAAAAull);
+}
+
+TEST(MortonExhaustive, ZCurveLocalityWithinAlignedBoxes) {
+  // Points inside an aligned 2^k x 2^k box share the top 2*(16-k) z-bits.
+  const std::uint32_t bx = 0x4200, by = 0x8100;  // aligned to 2^8
+  const std::uint32_t zbase = app::morton2d_32(bx, by);
+  for (std::uint32_t dx = 0; dx < 256; dx += 37)
+    for (std::uint32_t dy = 0; dy < 256; dy += 41) {
+      const std::uint32_t z = app::morton2d_32(bx + dx, by + dy);
+      EXPECT_EQ(z >> 16, zbase >> 16);
+    }
+}
+
+TEST(MortonExhaustive, Part1By2MasksCorrect) {
+  // Every third bit position holds the payload for 3D spreading.
+  const std::uint64_t spread = app::part1by2_21(0x1FFFFF);
+  EXPECT_EQ(spread, 0x1249249249249249ull);
+  EXPECT_EQ(app::part1by2_21(0), 0u);
+  EXPECT_EQ(app::part1by2_21(1), 1u);
+  EXPECT_EQ(app::part1by2_21(2), 8u);
+  EXPECT_EQ(app::part1by2_21(3), 9u);
+}

@@ -1,0 +1,100 @@
+// Full cross-product of DovetailSort's option space on two contrasting
+// distributions: every combination of heavy detection, merge algorithm,
+// overflow handling, digit width and base case must produce the identical
+// stable result. This guards against interactions between features (e.g.
+// overflow buckets created while heavy keys exist in the same zone).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dovetail/core/dovetail_sort.hpp"
+#include "dovetail/generators/synthetic.hpp"
+#include "dovetail/util/record.hpp"
+
+using namespace dovetail;
+namespace gen = dovetail::gen;
+
+namespace {
+
+struct matrix_param {
+  bool detect_heavy;
+  bool use_dt_merge;
+  bool skip_leading_bits;
+  int gamma;
+  std::size_t base_case;
+};
+
+std::string param_name(const ::testing::TestParamInfo<matrix_param>& info) {
+  const auto& p = info.param;
+  return std::string(p.detect_heavy ? "heavy" : "plain") + "_" +
+         (p.use_dt_merge ? "dtm" : "plm") + "_" +
+         (p.skip_leading_bits ? "ovf" : "noovf") + "_g" +
+         std::to_string(p.gamma) + "_t" + std::to_string(p.base_case);
+}
+
+std::vector<matrix_param> make_matrix() {
+  std::vector<matrix_param> out;
+  for (bool heavy : {true, false})
+    for (bool dtm : {true, false})
+      for (bool ovf : {true, false})
+        for (int gamma : {3, 8})
+          for (std::size_t theta : {32ul, 4096ul})
+            out.push_back({heavy, dtm, ovf, gamma, theta});
+  return out;
+}
+
+}  // namespace
+
+class OptionsMatrix : public ::testing::TestWithParam<matrix_param> {};
+INSTANTIATE_TEST_SUITE_P(All, OptionsMatrix,
+                         ::testing::ValuesIn(make_matrix()), param_name);
+
+TEST_P(OptionsMatrix, ZipfHeavyDuplicates) {
+  const auto& p = GetParam();
+  sort_options o;
+  o.detect_heavy = p.detect_heavy;
+  o.use_dt_merge = p.use_dt_merge;
+  o.skip_leading_bits = p.skip_leading_bits;
+  o.gamma = p.gamma;
+  o.base_case = p.base_case;
+  auto v = gen::generate_records<kv32>({gen::dist_kind::zipfian, 1.3, "z"},
+                                       60000, 91);
+  auto ref = v;
+  std::stable_sort(ref.begin(), ref.end(), [](const kv32& a, const kv32& b) {
+    return a.key < b.key;
+  });
+  dovetail_sort(std::span<kv32>(v), key_of_kv32, o);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    ASSERT_EQ(v[i].key, ref[i].key) << i;
+    ASSERT_EQ(v[i].value, ref[i].value) << i;
+  }
+}
+
+TEST_P(OptionsMatrix, SmallRangeWithOutliers) {
+  const auto& p = GetParam();
+  sort_options o;
+  o.detect_heavy = p.detect_heavy;
+  o.use_dt_merge = p.use_dt_merge;
+  o.skip_leading_bits = p.skip_leading_bits;
+  o.gamma = p.gamma;
+  o.base_case = p.base_case;
+  std::vector<kv32> v(60000);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    std::uint32_t k = static_cast<std::uint32_t>(par::hash64(i) % 300);
+    if (i % 7777 == 0) k = 0xFF000000u | static_cast<std::uint32_t>(i);
+    v[i] = {k, static_cast<std::uint32_t>(i)};
+  }
+  auto ref = v;
+  std::stable_sort(ref.begin(), ref.end(), [](const kv32& a, const kv32& b) {
+    return a.key < b.key;
+  });
+  dovetail_sort(std::span<kv32>(v), key_of_kv32, o);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    ASSERT_EQ(v[i].key, ref[i].key) << i;
+    ASSERT_EQ(v[i].value, ref[i].value) << i;
+  }
+}

@@ -1,0 +1,140 @@
+// Cross-algorithm property sweeps: every algorithm in the registry, on
+// every distribution family, at several sizes, for 32- and 64-bit keys:
+//   * output is sorted by key,
+//   * output is a permutation of the input (multiset fingerprint),
+//   * stable algorithms keep input order within equal keys,
+//   * all algorithms agree with each other on the key sequence.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "dovetail/generators/synthetic.hpp"
+#include "dovetail/util/algorithms.hpp"
+#include "dovetail/util/record.hpp"
+#include "test_util.hpp"
+
+using namespace dovetail;
+namespace gen = dovetail::gen;
+
+namespace {
+
+const std::vector<gen::distribution>& sweep_distributions() {
+  static const std::vector<gen::distribution> d = {
+      {gen::dist_kind::uniform, 1e9, "Unif-1e9"},
+      {gen::dist_kind::uniform, 1e3, "Unif-1e3"},
+      {gen::dist_kind::uniform, 10, "Unif-10"},
+      {gen::dist_kind::exponential, 1, "Exp-1"},
+      {gen::dist_kind::exponential, 10, "Exp-10"},
+      {gen::dist_kind::zipfian, 0.6, "Zipf-0.6"},
+      {gen::dist_kind::zipfian, 1.5, "Zipf-1.5"},
+      {gen::dist_kind::bexp, 10, "BExp-10"},
+      {gen::dist_kind::bexp, 300, "BExp-300"},
+  };
+  return d;
+}
+
+struct sweep_param {
+  algo a;
+  std::size_t dist_index;
+  std::size_t n;
+};
+
+std::string param_name(const ::testing::TestParamInfo<sweep_param>& info) {
+  const auto& p = info.param;
+  std::string d = sweep_distributions()[p.dist_index].name;
+  for (auto& ch : d)
+    if (ch == '-' || ch == '.') ch = '_';
+  return std::string(algo_name(p.a)) + "_" + d + "_n" + std::to_string(p.n);
+}
+
+std::vector<sweep_param> make_params() {
+  std::vector<sweep_param> out;
+  for (algo a : all_parallel_algos())
+    for (std::size_t di = 0; di < sweep_distributions().size(); ++di)
+      for (std::size_t n : {1000ul, 100000ul})
+        out.push_back({a, di, n});
+  return out;
+}
+
+}  // namespace
+
+class AlgoSweep32 : public ::testing::TestWithParam<sweep_param> {};
+class AlgoSweep64 : public ::testing::TestWithParam<sweep_param> {};
+
+INSTANTIATE_TEST_SUITE_P(All, AlgoSweep32, ::testing::ValuesIn(make_params()),
+                         param_name);
+INSTANTIATE_TEST_SUITE_P(All, AlgoSweep64, ::testing::ValuesIn(make_params()),
+                         param_name);
+
+TEST_P(AlgoSweep32, SortedPermutationAndStability) {
+  const auto& p = GetParam();
+  const auto& d = sweep_distributions()[p.dist_index];
+  auto v = gen::generate_records<kv32>(d, p.n, 77 + p.dist_index);
+  const auto fingerprint =
+      dtt::multiset_hash(std::span<const kv32>(v), key_of_kv32);
+  run_sorter(p.a, std::span<kv32>(v), key_of_kv32);
+  ASSERT_TRUE(dtt::sorted_by_key(std::span<const kv32>(v), key_of_kv32));
+  ASSERT_EQ(dtt::multiset_hash(std::span<const kv32>(v), key_of_kv32),
+            fingerprint);
+  if (algo_is_stable(p.a)) {
+    ASSERT_TRUE(dtt::stable_by_index_value(std::span<const kv32>(v),
+                                           key_of_kv32));
+  }
+}
+
+TEST_P(AlgoSweep64, SortedPermutationAndStability) {
+  const auto& p = GetParam();
+  const auto& d = sweep_distributions()[p.dist_index];
+  auto v = gen::generate_records<kv64>(d, p.n, 177 + p.dist_index);
+  const auto fingerprint =
+      dtt::multiset_hash(std::span<const kv64>(v), key_of_kv64);
+  run_sorter(p.a, std::span<kv64>(v), key_of_kv64);
+  ASSERT_TRUE(dtt::sorted_by_key(std::span<const kv64>(v), key_of_kv64));
+  ASSERT_EQ(dtt::multiset_hash(std::span<const kv64>(v), key_of_kv64),
+            fingerprint);
+  if (algo_is_stable(p.a)) {
+    ASSERT_TRUE(dtt::stable_by_index_value(std::span<const kv64>(v),
+                                           key_of_kv64));
+  }
+}
+
+// All algorithms must produce the same key sequence on the same input.
+TEST(AlgoAgreement, AllAlgorithmsAgreeOnKeys32) {
+  for (const auto& d : sweep_distributions()) {
+    auto base = gen::generate_records<kv32>(d, 50000, 301);
+    std::vector<std::uint32_t> reference;
+    for (algo a : all_parallel_algos()) {
+      auto v = base;
+      run_sorter(a, std::span<kv32>(v), key_of_kv32);
+      std::vector<std::uint32_t> keys(v.size());
+      for (std::size_t i = 0; i < v.size(); ++i) keys[i] = v[i].key;
+      if (reference.empty())
+        reference = keys;
+      else
+        ASSERT_EQ(keys, reference)
+            << algo_name(a) << " disagrees on " << d.name;
+    }
+  }
+}
+
+TEST(AlgoAgreement, StableAlgorithmsFullyAgree64) {
+  for (const auto& d : sweep_distributions()) {
+    auto base = gen::generate_records<kv64>(d, 50000, 303);
+    std::vector<kv64> reference;
+    for (algo a : {algo::dtsort, algo::plis, algo::lsd, algo::ips4o,
+                   algo::std_stable}) {
+      auto v = base;
+      run_sorter(a, std::span<kv64>(v), key_of_kv64);
+      if (reference.empty())
+        reference = v;
+      else
+        ASSERT_TRUE(std::equal(v.begin(), v.end(), reference.begin()))
+            << algo_name(a) << " disagrees on " << d.name;
+    }
+  }
+}

@@ -1,0 +1,95 @@
+// Tests for the deterministic RNG and the bit utilities.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "dovetail/parallel/random.hpp"
+#include "dovetail/util/bits.hpp"
+
+using namespace dovetail;
+namespace par = dovetail::par;
+
+TEST(Random, Hash64IsDeterministicAndSpreads) {
+  EXPECT_EQ(par::hash64(1), par::hash64(1));
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) seen.insert(par::hash64(i));
+  EXPECT_EQ(seen.size(), 10000u);  // bijective finalizer: no collisions
+}
+
+TEST(Random, RandRangeWithinBound) {
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (std::uint64_t i = 0; i < 2000; ++i)
+      ASSERT_LT(par::rand_range(9, i, bound), bound);
+  }
+}
+
+TEST(Random, RandRangeCoversSmallRangeUniformly) {
+  const std::uint64_t bound = 10;
+  std::vector<std::size_t> counts(bound, 0);
+  const std::size_t n = 100000;
+  for (std::uint64_t i = 0; i < n; ++i) ++counts[par::rand_range(11, i, bound)];
+  for (auto c : counts) {
+    EXPECT_GT(c, n / bound * 9 / 10);
+    EXPECT_LT(c, n / bound * 11 / 10);
+  }
+}
+
+TEST(Random, RandDoubleInUnitInterval) {
+  double sum = 0;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    double u = par::rand_double(13, i);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Random, StreamsAreIndependent) {
+  EXPECT_NE(par::rand_at(1, 0), par::rand_at(2, 0));
+  EXPECT_NE(par::rand_at(1, 0), par::rand_at(1, 1));
+}
+
+TEST(Bits, BitWidth) {
+  EXPECT_EQ(bit_width_u64(0), 0);
+  EXPECT_EQ(bit_width_u64(1), 1);
+  EXPECT_EQ(bit_width_u64(2), 2);
+  EXPECT_EQ(bit_width_u64(3), 2);
+  EXPECT_EQ(bit_width_u64(255), 8);
+  EXPECT_EQ(bit_width_u64(256), 9);
+  EXPECT_EQ(bit_width_u64(~0ull), 64);
+}
+
+TEST(Bits, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 1u);
+  EXPECT_EQ(low_mask(8), 0xFFu);
+  EXPECT_EQ(low_mask(32), 0xFFFFFFFFull);
+  EXPECT_EQ(low_mask(64), ~0ull);
+}
+
+TEST(Bits, Logs) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+TEST(Bits, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(65));
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(4), 4u);
+  EXPECT_EQ(next_pow2(5), 8u);
+}

@@ -1,0 +1,45 @@
+// Shared helpers for the test suite: sortedness, permutation (multiset
+// equality) and stability checks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dovetail/parallel/random.hpp"
+#include "dovetail/util/record.hpp"
+
+namespace dtt {
+
+template <typename Rec, typename KeyFn>
+bool sorted_by_key(std::span<const Rec> a, const KeyFn& key) {
+  for (std::size_t i = 1; i < a.size(); ++i)
+    if (key(a[i - 1]) > key(a[i])) return false;
+  return true;
+}
+
+// Order-independent multiset fingerprint over full records (key + value).
+template <typename Rec, typename KeyFn>
+std::uint64_t multiset_hash(std::span<const Rec> a, const KeyFn& key) {
+  std::uint64_t h = 0;
+  for (const Rec& r : a) {
+    std::uint64_t x = dovetail::par::hash64(
+        static_cast<std::uint64_t>(key(r)) * 0x100000001B3ull);
+    if constexpr (requires { r.value; })
+      x = dovetail::par::hash64(x ^ static_cast<std::uint64_t>(r.value));
+    h += x;
+  }
+  return h;
+}
+
+// For records whose value is the original input index: equal keys must keep
+// increasing values (stability).
+template <typename Rec, typename KeyFn>
+bool stable_by_index_value(std::span<const Rec> a, const KeyFn& key) {
+  for (std::size_t i = 1; i < a.size(); ++i)
+    if (key(a[i - 1]) == key(a[i]) && a[i - 1].value >= a[i].value)
+      return false;
+  return true;
+}
+
+}  // namespace dtt
