@@ -1,0 +1,150 @@
+// Micro-benchmark of the unified distribution engine (distribute.hpp):
+//
+//  1. scatter strategies head-to-head — `direct` single stores vs the
+//     `buffered` RADULS-style staging bursts vs the `unstable` Thm 4.1
+//     atomic scatter — as a function of bucket count. The buffered
+//     strategy's advantage should appear once the cursor working set
+//     outgrows cache/TLB reach (large B); `automatic` is the engine's
+//     per-call pick.
+//  2. workspace reuse — DovetailSort with a warm (persistent) workspace vs
+//     a cold one constructed per sort, isolating the cost of hot-path
+//     allocation that the reusable arena eliminates. The workspace
+//     allocation/reuse counters are printed alongside.
+//
+// Results feed BENCH_distribute.json (the perf trajectory baseline).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "dovetail/core/distribute.hpp"
+#include "dovetail/core/dovetail_sort.hpp"
+#include "dovetail/core/sort_stats.hpp"
+#include "dovetail/core/workspace.hpp"
+
+using dovetail::distribute;
+using dovetail::distribute_options;
+using dovetail::kv32;
+using dovetail::scatter_strategy;
+using dovetail::sort_workspace;
+namespace gen = dovetail::gen;
+
+namespace {
+
+const char* strategy_name(scatter_strategy s) {
+  switch (s) {
+    case scatter_strategy::automatic: return "Auto";
+    case scatter_strategy::direct: return "Direct";
+    case scatter_strategy::buffered: return "Buffered";
+    case scatter_strategy::unstable: return "Unstable";
+  }
+  return "?";
+}
+
+void register_strategy_cell(std::size_t n, std::size_t buckets,
+                            scatter_strategy strategy) {
+  const std::string name = std::string("Distribute/") +
+                           strategy_name(strategy) +
+                           "/buckets:" + std::to_string(buckets);
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [n, buckets, strategy](benchmark::State& st) {
+        const gen::distribution d{gen::dist_kind::uniform, 1e9, "Unif-1e9"};
+        const auto& input = dtb::cached_input<kv32>(d, n);
+        std::vector<kv32> out(n);
+        std::vector<std::size_t> offs(buckets + 1);
+        const std::uint32_t mask = static_cast<std::uint32_t>(buckets - 1);
+        auto bucket_of = [mask](const kv32& r) -> std::size_t {
+          return r.key & mask;
+        };
+        static sort_workspace ws;  // persistent: steady-state engine perf
+        distribute_options opt;
+        opt.strategy = strategy;
+        opt.workspace = &ws;
+        std::vector<double> times;
+        for (auto _ : st) {
+          dovetail::timer t;
+          distribute(std::span<const kv32>(input), std::span<kv32>(out),
+                     buckets, bucket_of, std::span<std::size_t>(offs), opt);
+          benchmark::DoNotOptimize(out.data());
+          st.SetIterationTime(t.seconds());
+          times.push_back(t.seconds());
+        }
+        if (!times.empty()) {
+          std::sort(times.begin(), times.end());
+          dtb::global_results().add("B=" + std::to_string(buckets),
+                                    strategy_name(strategy),
+                                    times[times.size() / 2]);
+        }
+        st.counters["MB/s"] = benchmark::Counter(
+            static_cast<double>(n * sizeof(kv32)) / 1048576.0,
+            benchmark::Counter::kIsIterationInvariantRate);
+      })
+      ->UseManualTime()
+      ->Iterations(dtb::bench_reps())
+      ->Unit(benchmark::kMillisecond);
+}
+
+void register_workspace_cell(std::size_t n, const gen::distribution& d,
+                             bool warm) {
+  const char* variant = warm ? "WarmWS" : "ColdWS";
+  const std::string name =
+      std::string("DTSortWorkspace/") + variant + "/" + d.name;
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [n, d, warm, variant](benchmark::State& st) {
+        const auto& input = dtb::cached_input<kv32>(d, n);
+        static sort_workspace warm_ws;
+        dovetail::sort_stats stats;
+        std::vector<double> times;
+        std::vector<kv32> work(n);
+        for (auto _ : st) {
+          std::copy(input.begin(), input.end(), work.begin());
+          dovetail::sort_options opt;
+          opt.stats = &stats;
+          if (warm) opt.workspace = &warm_ws;  // else: ephemeral per sort
+          dovetail::timer t;
+          dovetail::dovetail_sort(std::span<kv32>(work), dovetail::key_of_kv32,
+                                  opt);
+          const double s = t.seconds();
+          st.SetIterationTime(s);
+          times.push_back(s);
+        }
+        if (!times.empty()) {
+          std::sort(times.begin(), times.end());
+          dtb::global_results().add("WS/" + d.name, variant,
+                                    times[times.size() / 2]);
+        }
+        st.counters["ws_alloc"] =
+            static_cast<double>(stats.workspace_allocations.load());
+        st.counters["ws_reuse"] =
+            static_cast<double>(stats.workspace_reuses.load());
+      })
+      ->UseManualTime()
+      ->Iterations(dtb::bench_reps())
+      ->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  const std::size_t n = dtb::bench_n();
+  for (std::size_t b = 256; b <= 65536; b *= 16) {
+    register_strategy_cell(n, b, scatter_strategy::direct);
+    register_strategy_cell(n, b, scatter_strategy::buffered);
+    register_strategy_cell(n, b, scatter_strategy::unstable);
+    register_strategy_cell(n, b, scatter_strategy::automatic);
+  }
+  for (bool warm : {false, true}) {
+    register_workspace_cell(n, {gen::dist_kind::uniform, 1e9, "Unif-1e9"},
+                            warm);
+    register_workspace_cell(n, {gen::dist_kind::zipfian, 1.2, "Zipf-1.2"},
+                            warm);
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  dtb::global_results().print(
+      "Distribution engine: scatter strategies and workspace reuse, n=" +
+          std::to_string(n),
+      /*heatmap=*/false);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,143 +5,43 @@
 // buffers and flushes a whole buffer at once when it fills, so writes to
 // the output hit memory in contiguous bursts.
 //
-// The paper benchmarks RD on 64-bit records only (its kernels require
-// records padded to 64-bit multiples); we keep the same spirit but accept
-// any trivially copyable record. Stable, like RADULS.
+// That trick now lives in the unified distribution engine as the `buffered`
+// scatter strategy (distribute.hpp), available to every radix layer; this
+// baseline is simply the classic LSD sort pinned to it. The paper
+// benchmarks RD on 64-bit records only (its kernels require records padded
+// to 64-bit multiples); we keep the same spirit but accept any trivially
+// copyable record. Stable, like RADULS.
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
-#include <cstdint>
-#include <cstring>
-#include <memory>
 #include <span>
 #include <type_traits>
-#include <vector>
 
-#include "dovetail/parallel/parallel_for.hpp"
-#include "dovetail/parallel/primitives.hpp"
-#include "dovetail/parallel/scheduler.hpp"
-#include "dovetail/util/bits.hpp"
+#include "dovetail/baselines/lsd_radix_sort.hpp"
+#include "dovetail/core/sort_options.hpp"
+#include "dovetail/core/workspace.hpp"
 
 namespace dovetail::baseline {
 
 struct buffered_lsd_options {
-  int gamma = 8;                 // digit width; 256 buckets per pass
+  int gamma = 8;                   // digit width; 256 buckets per pass
   std::size_t buffer_bytes = 256;  // staging buffer per bucket (per block)
+  sort_workspace* workspace = nullptr;  // reuse across sorts; may be null
+  sort_stats* stats = nullptr;          // engine counters; may be null
 };
-
-namespace detail {
-
-template <typename Rec, typename KeyFn>
-void buffered_pass(std::span<const Rec> in, std::span<Rec> out,
-                   const KeyFn& key, int shift, std::size_t zones,
-                   std::uint64_t zmask, std::size_t buf_records) {
-  const std::size_t n = in.size();
-  const auto p = static_cast<std::size_t>(par::num_workers());
-  const std::size_t min_block = std::max<std::size_t>(8 * zones, 16384);
-  const std::size_t nblocks = std::clamp<std::size_t>(n / min_block, 1, 8 * p);
-  const std::size_t bsize = (n + nblocks - 1) / nblocks;
-
-  auto bucket_of = [&](const Rec& r) -> std::size_t {
-    return (static_cast<std::uint64_t>(key(r)) >> shift) & zmask;
-  };
-
-  // Pass 1: per-block counts.
-  std::vector<std::size_t> counts(nblocks * zones, 0);
-  par::parallel_for(
-      0, nblocks,
-      [&](std::size_t b) {
-        std::size_t lo = b * bsize, hi = std::min(n, lo + bsize);
-        std::size_t* row = counts.data() + b * zones;
-        for (std::size_t i = lo; i < hi; ++i) ++row[bucket_of(in[i])];
-      },
-      1);
-
-  // Offsets per (bucket, block) in stable order.
-  std::vector<std::size_t> totals(zones, 0);
-  par::parallel_for(0, zones, [&](std::size_t z) {
-    std::size_t c = 0;
-    for (std::size_t b = 0; b < nblocks; ++b) c += counts[b * zones + z];
-    totals[z] = c;
-  });
-  std::size_t acc = 0;
-  for (std::size_t z = 0; z < zones; ++z) {
-    const std::size_t c = totals[z];
-    totals[z] = acc;
-    acc += c;
-  }
-  par::parallel_for(0, zones, [&](std::size_t z) {
-    std::size_t cur = totals[z];
-    for (std::size_t b = 0; b < nblocks; ++b) {
-      const std::size_t c = counts[b * zones + z];
-      counts[b * zones + z] = cur;
-      cur += c;
-    }
-  });
-
-  // Pass 2: buffered scatter. Records are staged per bucket and flushed in
-  // bursts of `buf_records` (the RADULS trick).
-  par::parallel_for(
-      0, nblocks,
-      [&](std::size_t b) {
-        std::size_t lo = b * bsize, hi = std::min(n, lo + bsize);
-        std::size_t* row = counts.data() + b * zones;
-        std::vector<Rec> stage(zones * buf_records);
-        std::vector<std::uint32_t> fill(zones, 0);
-        for (std::size_t i = lo; i < hi; ++i) {
-          const std::size_t z = bucket_of(in[i]);
-          stage[z * buf_records + fill[z]] = in[i];
-          if (++fill[z] == buf_records) {
-            std::memcpy(out.data() + row[z], stage.data() + z * buf_records,
-                        buf_records * sizeof(Rec));
-            row[z] += buf_records;
-            fill[z] = 0;
-          }
-        }
-        for (std::size_t z = 0; z < zones; ++z) {
-          if (fill[z] != 0) {
-            std::memcpy(out.data() + row[z], stage.data() + z * buf_records,
-                        fill[z] * sizeof(Rec));
-            row[z] += fill[z];
-          }
-        }
-      },
-      1);
-}
-
-}  // namespace detail
 
 template <typename Rec, typename KeyFn>
 void buffered_lsd_radix_sort(std::span<Rec> data, const KeyFn& key,
                              const buffered_lsd_options& opt = {}) {
   static_assert(std::is_trivially_copyable_v<Rec>);
-  const std::size_t n = data.size();
-  if (n <= 1) return;
-  const std::uint64_t maxk = par::reduce_map(
-      0, n, std::uint64_t{0},
-      [&](std::size_t i) { return static_cast<std::uint64_t>(key(data[i])); },
-      [](std::uint64_t x, std::uint64_t y) { return x < y ? y : x; });
-  const int bits = bit_width_u64(maxk);
-  if (bits == 0) return;
-
-  const int digit = std::clamp(opt.gamma, 1, 12);
-  const std::size_t zones = std::size_t{1} << digit;
-  const std::uint64_t zmask = zones - 1;
-  const int passes = (bits + digit - 1) / digit;
-  const std::size_t buf_records =
-      std::max<std::size_t>(4, opt.buffer_bytes / sizeof(Rec));
-
-  std::unique_ptr<Rec[]> buf(new Rec[n]);
-  std::span<Rec> a = data;
-  std::span<Rec> t(buf.get(), n);
-  for (int pass = 0; pass < passes; ++pass) {
-    detail::buffered_pass(std::span<const Rec>(a.data(), n), t, key,
-                          pass * digit, zones, zmask, buf_records);
-    std::swap(a, t);
-  }
-  if (a.data() != data.data())
-    par::copy(std::span<const Rec>(a.data(), n), data);
+  lsd_options lopt;
+  lopt.gamma = std::clamp(opt.gamma, 1, 12);
+  lopt.scatter = scatter_strategy::buffered;
+  lopt.scatter_buffer_bytes = opt.buffer_bytes;
+  lopt.workspace = opt.workspace;
+  lopt.stats = opt.stats;
+  lsd_radix_sort(data, key, lopt);
 }
 
 template <typename K>

@@ -1,13 +1,15 @@
 // In-place unstable MSD radix sort (American-flag style) — the stand-in for
 // IPS2Ra [6] / RegionsSort [45] in the paper's comparison (Tab 2).
 //
-// Each node counts the digit histogram in parallel, then performs the
-// in-place cycle-chasing permutation *serially* (the permutation is the
-// part IPS2Ra/RegionsSort parallelize with heavy machinery; keeping it
-// serial reproduces their qualitative behaviour on this reproduction's
-// scale: in-place, unstable, and load-imbalance-sensitive on skewed inputs
-// such as BExp — cf. Sec 6.1 and Appendix C where IPS2Ra scales poorly).
-// Recursion over buckets is parallel.
+// Each node counts the digit histogram in parallel — through the counting
+// phase of the unified distribution engine (distribute_histogram), with all
+// scratch leased from a sort_workspace — then performs the in-place
+// cycle-chasing permutation *serially* (the permutation is the part
+// IPS2Ra/RegionsSort parallelize with heavy machinery; keeping it serial
+// reproduces their qualitative behaviour on this reproduction's scale:
+// in-place, unstable, and load-imbalance-sensitive on skewed inputs such as
+// BExp — cf. Sec 6.1 and Appendix C where IPS2Ra scales poorly). Recursion
+// over buckets is parallel.
 #pragma once
 
 #include <algorithm>
@@ -15,8 +17,9 @@
 #include <cstdint>
 #include <span>
 #include <type_traits>
-#include <vector>
 
+#include "dovetail/core/distribute.hpp"
+#include "dovetail/core/workspace.hpp"
 #include "dovetail/parallel/parallel_for.hpp"
 #include "dovetail/parallel/primitives.hpp"
 #include "dovetail/util/bits.hpp"
@@ -26,13 +29,15 @@ namespace dovetail::baseline {
 struct inplace_radix_options {
   int gamma = 8;                           // digit width (256 buckets)
   std::size_t base_case = std::size_t{1} << 12;
+  sort_workspace* workspace = nullptr;     // reuse across sorts; may be null
+  sort_stats* stats = nullptr;             // engine counters; may be null
 };
 
 namespace detail {
 
 template <typename Rec, typename KeyFn>
 void inplace_radix_rec(std::span<Rec> a, const KeyFn& key, int bits,
-                       const inplace_radix_options& opt) {
+                       const inplace_radix_options& opt, sort_workspace& ws) {
   const std::size_t n = a.size();
   if (n <= 1 || bits == 0) return;
   if (n <= opt.base_case) {
@@ -52,10 +57,20 @@ void inplace_radix_rec(std::span<Rec> a, const KeyFn& key, int bits,
     return (keyof(r) >> shift) & zmask;
   };
 
-  // Parallel histogram, then serial in-place permutation (American flag).
-  std::vector<std::size_t> counts =
-      par::histogram(n, zones, [&](std::size_t i) { return bucket_of(a[i]); });
-  std::vector<std::size_t> start(zones + 1, 0), next(zones, 0);
+  // Parallel histogram via the engine's counting phase, then a serial
+  // in-place permutation (American flag). Counts/cursors come from one
+  // leased slab instead of three per-call vectors.
+  sort_workspace::lease lease =
+      ws.acquire((3 * zones + 2) * sizeof(std::size_t) + 64, opt.stats);
+  std::span<std::size_t> counts = lease.carve<std::size_t>(zones);
+  std::span<std::size_t> start = lease.carve<std::size_t>(zones + 1);
+  std::span<std::size_t> next = lease.carve<std::size_t>(zones);
+  distribute_options dopt;
+  dopt.workspace = &ws;
+  dopt.stats = opt.stats;
+  distribute_histogram(std::span<const Rec>(a.data(), n), zones, bucket_of,
+                       counts, dopt);
+  start[0] = 0;
   for (std::size_t z = 0; z < zones; ++z) start[z + 1] = start[z] + counts[z];
   for (std::size_t z = 0; z < zones; ++z) next[z] = start[z];
 
@@ -76,7 +91,7 @@ void inplace_radix_rec(std::span<Rec> a, const KeyFn& key, int bits,
       0, zones,
       [&](std::size_t z) {
         inplace_radix_rec(a.subspan(start[z], start[z + 1] - start[z]), key,
-                          shift, opt);
+                          shift, opt, ws);
       },
       1);
 }
@@ -94,7 +109,9 @@ void inplace_radix_sort(std::span<Rec> data, const KeyFn& key,
       0, n, std::uint64_t{0},
       [&](std::size_t i) { return static_cast<std::uint64_t>(key(data[i])); },
       [](std::uint64_t x, std::uint64_t y) { return x < y ? y : x; });
-  detail::inplace_radix_rec(data, key, bit_width_u64(maxk), opt);
+  sort_workspace local_ws;
+  sort_workspace& ws = opt.workspace != nullptr ? *opt.workspace : local_ws;
+  detail::inplace_radix_rec(data, key, bit_width_u64(maxk), opt, ws);
 }
 
 template <typename K>

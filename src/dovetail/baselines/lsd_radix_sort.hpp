@@ -1,20 +1,25 @@
 // Classic stable LSD (least-significant-digit) parallel radix sort
-// (Sec 2.3): one stable counting-sort pass per digit, lowest digit first,
-// ping-ponging between the input array and a temporary buffer.
+// (Sec 2.3): one stable distribution pass per digit, lowest digit first,
+// ping-ponging between the input array and a workspace buffer.
 //
 // O(n * ceil(log r / γ)) work. Included as the textbook baseline the paper
 // contrasts the parallel MSD framework against (MSD recursion is preferred
 // in parallel because subproblems become independent).
+//
+// Every pass runs through the unified distribution engine (distribute.hpp),
+// so the scatter strategy is selectable: `direct` is the textbook scatter,
+// `buffered` staging turns this into the RADULS-style sort that
+// buffered_lsd_radix_sort.hpp exposes, and `automatic` picks per pass.
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
-#include <memory>
 #include <span>
 #include <type_traits>
 
-#include "dovetail/core/counting_sort.hpp"
+#include "dovetail/core/distribute.hpp"
+#include "dovetail/core/workspace.hpp"
 #include "dovetail/parallel/primitives.hpp"
 #include "dovetail/util/bits.hpp"
 
@@ -22,6 +27,15 @@ namespace dovetail::baseline {
 
 struct lsd_options {
   int gamma = 8;  // digit width in bits (256 buckets by default)
+  // Default `direct`: this baseline stands for the *textbook* LSD sort in
+  // the paper's comparison, so it must not silently adopt the buffered
+  // RADULS scatter (that is the RD baseline's identity — see
+  // buffered_lsd_radix_sort.hpp). Opt into `buffered`/`automatic` freely
+  // when using this sort outside the paper-reproduction benchmarks.
+  scatter_strategy scatter = scatter_strategy::direct;
+  std::size_t scatter_buffer_bytes = 256;  // buffered staging per bucket
+  sort_workspace* workspace = nullptr;     // reuse across sorts; may be null
+  sort_stats* stats = nullptr;             // engine counters; may be null
 };
 
 template <typename Rec, typename KeyFn>
@@ -44,15 +58,27 @@ void lsd_radix_sort(std::span<Rec> data, const KeyFn& key,
   const std::uint64_t zmask = zones - 1;
   const int passes = (bits + digit - 1) / digit;
 
-  std::unique_ptr<Rec[]> buf(new Rec[n]);
+  sort_workspace local_ws;
+  sort_workspace& ws = opt.workspace != nullptr ? *opt.workspace : local_ws;
   std::span<Rec> a = data;
-  std::span<Rec> t(buf.get(), n);
+  std::span<Rec> t = ws.record_buffer<Rec>(n, opt.stats);
+  sort_workspace::lease off_lease =
+      ws.acquire((zones + 1) * sizeof(std::size_t), opt.stats);
+  const std::span<std::size_t> offs = off_lease.carve<std::size_t>(zones + 1);
+
+  distribute_options dopt;
+  dopt.strategy = opt.scatter;
+  dopt.require_stable = true;  // LSD correctness relies on stable passes
+  dopt.buffer_bytes = opt.scatter_buffer_bytes;
+  dopt.workspace = &ws;
+  dopt.stats = opt.stats;
   for (int p = 0; p < passes; ++p) {
     const int shift = p * digit;
-    counting_sort(std::span<const Rec>(a.data(), n), t, zones,
-                  [&](const Rec& r) -> std::size_t {
-                    return (keyof(r) >> shift) & zmask;
-                  });
+    distribute(std::span<const Rec>(a.data(), n), t, zones,
+               [&](const Rec& r) -> std::size_t {
+                 return (keyof(r) >> shift) & zmask;
+               },
+               offs, dopt);
     std::swap(a, t);
   }
   if (a.data() != data.data())

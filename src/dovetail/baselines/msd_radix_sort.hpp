@@ -3,6 +3,9 @@
 //
 // Stable, out-of-place (ping-pong A/T), counting-sort distribution on the
 // top digit, parallel recursion per bucket, comparison-sort base case.
+// Distribution runs through the unified engine (distribute.hpp) with a
+// workspace shared across all recursion levels, so the scatter strategy is
+// selectable and repeated sorts on one workspace reuse all O(n) scratch.
 // The key range is found with a parallel max-reduce (PLIS behaviour; DTSort
 // instead estimates it from samples, Sec 5).
 //
@@ -15,12 +18,11 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
-#include <memory>
 #include <span>
 #include <type_traits>
-#include <vector>
 
-#include "dovetail/core/counting_sort.hpp"
+#include "dovetail/core/distribute.hpp"
+#include "dovetail/core/workspace.hpp"
 #include "dovetail/parallel/parallel_for.hpp"
 #include "dovetail/parallel/primitives.hpp"
 #include "dovetail/parallel/sort.hpp"
@@ -31,6 +33,13 @@ namespace dovetail::baseline {
 struct radix_options {
   int gamma = 0;                           // 0 = auto: clamp(log2(n)/3, 8, 12)
   std::size_t base_case = std::size_t{1} << 14;
+  // Default `direct`: this baseline stands for PLIS (plain ParlayLib
+  // integer sort) in the paper's comparison, so it keeps the classic
+  // scatter unless the caller opts into `buffered`/`automatic`.
+  scatter_strategy scatter = scatter_strategy::direct;
+  std::size_t scatter_buffer_bytes = 256;  // buffered staging per bucket
+  sort_workspace* workspace = nullptr;     // reuse across sorts; may be null
+  sort_stats* stats = nullptr;             // engine counters; may be null
 };
 
 namespace detail {
@@ -39,7 +48,8 @@ template <typename Rec, typename KeyFn>
 class msd_sorter {
  public:
   msd_sorter(std::span<Rec> data, const KeyFn& key, const radix_options& opt)
-      : a_(data), key_(key), theta_(std::max<std::size_t>(opt.base_case, 2)) {
+      : a_(data), key_(key), opt_(opt),
+        theta_(std::max<std::size_t>(opt.base_case, 2)) {
     const std::size_t n = std::max<std::size_t>(2, data.size());
     const auto lg = static_cast<int>(ceil_log2(n));
     gamma_ = opt.gamma > 0 ? opt.gamma : std::clamp(lg / 3, 8, 12);
@@ -55,9 +65,11 @@ class msd_sorter {
         [](std::uint64_t x, std::uint64_t y) { return x < y ? y : x; });
     const int bits = bit_width_u64(maxk);
     if (bits == 0) return;  // all keys are zero
-    buf_.reset(new Rec[n]);
-    t_ = std::span<Rec>(buf_.get(), n);
+    sort_workspace local_ws;
+    ws_ = opt_.workspace != nullptr ? opt_.workspace : &local_ws;
+    t_ = ws_->template record_buffer<Rec>(n, opt_.stats);
     sort_rec(0, n, bits, /*in_a=*/true);
+    ws_ = nullptr;
   }
 
  private:
@@ -104,9 +116,18 @@ class msd_sorter {
     auto bucket_of = [&](const Rec& r) -> std::size_t {
       return (keyof(r) >> shift) & zmask;
     };
-    const std::vector<std::size_t> offs =
-        counting_sort(std::span<const Rec>(cur.data() + lo, n),
-                      oth.subspan(lo, n), zones, bucket_of);
+    sort_workspace::lease off_lease =
+        ws_->acquire((zones + 1) * sizeof(std::size_t), opt_.stats);
+    const std::span<std::size_t> offs =
+        off_lease.carve<std::size_t>(zones + 1);
+    distribute_options dopt;
+    dopt.strategy = opt_.scatter;
+    dopt.require_stable = true;  // stable MSD relies on stable passes
+    dopt.buffer_bytes = opt_.scatter_buffer_bytes;
+    dopt.workspace = ws_;
+    dopt.stats = opt_.stats;
+    distribute(std::span<const Rec>(cur.data() + lo, n), oth.subspan(lo, n),
+               zones, bucket_of, offs, dopt);
     par::parallel_for(
         0, zones,
         [&](std::size_t z) {
@@ -118,7 +139,8 @@ class msd_sorter {
   std::span<Rec> a_;
   std::span<Rec> t_;
   const KeyFn key_;
-  std::unique_ptr<Rec[]> buf_;
+  const radix_options opt_;
+  sort_workspace* ws_ = nullptr;
   std::size_t theta_;
   int gamma_ = 8;
 };

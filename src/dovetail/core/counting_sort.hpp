@@ -1,127 +1,40 @@
 // Stable parallel counting sort (the "distribution" primitive, Sec 2.4 and
-// Appendix B of the paper).
+// Appendix B of the paper) — now a thin wrapper over the unified
+// distribution engine in distribute.hpp, which owns the blocked algorithm:
+//   1. bucket ids are evaluated once per record into a leased id array;
+//   2. an L x B counting matrix and column-major prefix sums yield, for
+//      every (block, bucket) pair, the stable output offset;
+//   3. each block scatters its records (direct stores or buffered memcpy
+//      bursts, see scatter_strategy in sort_options.hpp).
 //
-// Reorders `in` into `out` by bucket id. Blocked algorithm:
-//   1. split the input into L contiguous blocks; each block counts its
-//      records per bucket into a row of an L x B counting matrix;
-//   2. column-major exclusive prefix sums over the matrix yield, for every
-//      (block, bucket) pair, the output offset of that block's first record
-//      of that bucket — in bucket-major, then block-major order, which is
-//      exactly the stable order;
-//   3. each block scatters its records to the computed offsets.
-//
-// Work O(n + L*B), span O(B + n/L + log n). L is chosen so the counting
-// matrix stays small (Appendix B: fewer, larger blocks are cache-friendlier
-// than the theoretical Θ(n/B) blocks).
+// Work O(n + L*B), span O(B + n/L + log n). Scratch memory is leased from a
+// sort_workspace — pass one via distribute_options to make repeated calls
+// allocation-free; callers on the hot path (dovetail_sort.hpp, the radix
+// baselines) use distribute() directly with leased offsets instead.
 #pragma once
 
-#include <algorithm>
 #include <cstddef>
-#include <cstdint>
 #include <span>
 #include <vector>
 
-#include "dovetail/parallel/parallel_for.hpp"
-#include "dovetail/parallel/scheduler.hpp"
+#include "dovetail/core/distribute.hpp"
 
 namespace dovetail {
-
-namespace detail {
-
-// Core blocked counting sort over precomputed bucket ids (IdT is uint16_t
-// when the bucket count permits, halving the id-array footprint).
-template <typename Rec, typename IdT>
-std::vector<std::size_t> counting_sort_ids(std::span<const Rec> in,
-                                           std::span<Rec> out,
-                                           std::size_t num_buckets,
-                                           const IdT* ids) {
-  const std::size_t n = in.size();
-  std::vector<std::size_t> offsets(num_buckets + 1, 0);
-
-  const auto p = static_cast<std::size_t>(par::num_workers());
-  // Keep the counting matrix around L1/L2 size: blocks of at least
-  // max(8*B, 16384) records, at most 8 blocks per worker.
-  const std::size_t min_block = std::max<std::size_t>(8 * num_buckets, 16384);
-  const std::size_t nblocks =
-      std::clamp<std::size_t>(n / min_block, 1, 8 * p);
-  const std::size_t bsize = (n + nblocks - 1) / nblocks;
-
-  // counts[b * num_buckets + k] = #records of bucket k in block b.
-  std::vector<std::size_t> counts(nblocks * num_buckets, 0);
-  par::parallel_for(
-      0, nblocks,
-      [&](std::size_t b) {
-        std::size_t lo = b * bsize, hi = std::min(n, lo + bsize);
-        std::size_t* row = counts.data() + b * num_buckets;
-        for (std::size_t i = lo; i < hi; ++i) ++row[ids[i]];
-      },
-      1);
-
-  // Bucket totals, then global bucket starts (small, sequential scan).
-  std::vector<std::size_t> totals(num_buckets, 0);
-  par::parallel_for(0, num_buckets, [&](std::size_t k) {
-    std::size_t c = 0;
-    for (std::size_t b = 0; b < nblocks; ++b) c += counts[b * num_buckets + k];
-    totals[k] = c;
-  });
-  std::size_t acc = 0;
-  for (std::size_t k = 0; k < num_buckets; ++k) {
-    offsets[k] = acc;
-    acc += totals[k];
-  }
-  offsets[num_buckets] = acc;
-
-  // Turn counts into per-(block,bucket) output cursors.
-  par::parallel_for(0, num_buckets, [&](std::size_t k) {
-    std::size_t cur = offsets[k];
-    for (std::size_t b = 0; b < nblocks; ++b) {
-      std::size_t c = counts[b * num_buckets + k];
-      counts[b * num_buckets + k] = cur;
-      cur += c;
-    }
-  });
-
-  // Scatter. Each (block, bucket) cursor cell is owned by exactly one block.
-  par::parallel_for(
-      0, nblocks,
-      [&](std::size_t b) {
-        std::size_t lo = b * bsize, hi = std::min(n, lo + bsize);
-        std::size_t* row = counts.data() + b * num_buckets;
-        for (std::size_t i = lo; i < hi; ++i) out[row[ids[i]]++] = in[i];
-      },
-      1);
-  return offsets;
-}
-
-}  // namespace detail
 
 // `bucket_of(rec)` must return a value in [0, num_buckets).
 // `in` and `out` must not alias and must have equal size.
 // Returns bucket offsets: offsets[k] is the first index of bucket k in
 // `out`; offsets[num_buckets] == in.size().
-//
-// Bucket ids are precomputed into a side array so `bucket_of` — which may
-// involve a hash-table probe in DTSort (GetBucketId) — is evaluated once
-// per record instead of once per pass.
 template <typename Rec, typename BucketFn>
 std::vector<std::size_t> counting_sort(std::span<const Rec> in,
                                        std::span<Rec> out,
                                        std::size_t num_buckets,
-                                       const BucketFn& bucket_of) {
-  const std::size_t n = in.size();
-  if (n == 0) return std::vector<std::size_t>(num_buckets + 1, 0);
-  if (num_buckets <= (std::size_t{1} << 16)) {
-    std::vector<std::uint16_t> ids(n);
-    par::parallel_for(0, n, [&](std::size_t i) {
-      ids[i] = static_cast<std::uint16_t>(bucket_of(in[i]));
-    });
-    return detail::counting_sort_ids(in, out, num_buckets, ids.data());
-  }
-  std::vector<std::uint32_t> ids(n);
-  par::parallel_for(0, n, [&](std::size_t i) {
-    ids[i] = static_cast<std::uint32_t>(bucket_of(in[i]));
-  });
-  return detail::counting_sort_ids(in, out, num_buckets, ids.data());
+                                       const BucketFn& bucket_of,
+                                       const distribute_options& opt = {}) {
+  std::vector<std::size_t> offsets(num_buckets + 1);
+  distribute(in, out, num_buckets, bucket_of,
+             std::span<std::size_t>(offsets), opt);
+  return offsets;
 }
 
 }  // namespace dovetail

@@ -1,0 +1,336 @@
+// The unified distribution engine: one stable blocked counting-sort kernel
+// (Sec 2.4 / Appendix B) serving every radix layer in the library — DTSort's
+// recursive distribution, the LSD/MSD/buffered baselines, semisort, and the
+// unstable Thm 4.1 variant — parameterized by a scatter strategy and backed
+// by a reusable sort_workspace so the hot path performs no allocations.
+//
+// Phases of one distribute() call on n records and B buckets:
+//   0. bucket ids are evaluated once per record into a leased id array
+//      (uint16 when B <= 2^16, halving the footprint — bucket_of may be a
+//      hash-table probe in DTSort, so one evaluation per pass matters);
+//   1. the input is split into L blocks; each block counts its records per
+//      bucket into a row of a leased L x B counting matrix;
+//   2. column-major exclusive prefix sums yield global bucket offsets and
+//      per-(block, bucket) output cursors — bucket-major then block-major,
+//      which is exactly the stable order;
+//   3. scatter, per strategy (scatter_strategy in sort_options.hpp):
+//        direct    one store per record to its cursor;
+//        buffered  records staged in per-(block, bucket) software buffers,
+//                  flushed in contiguous memcpy bursts (the RADULS trick,
+//                  generalized from the former one-off buffered LSD
+//                  baseline) — stable and byte-identical to `direct`;
+//        unstable  one atomic fetch-and-add per record (Thm 4.1); skips the
+//                  cursor conversion, order within a bucket unspecified.
+//
+// Work O(n + L*B), span O(B + n/L + log n). All scratch (ids, matrix,
+// staging buffers) is leased from a sort_workspace; after warm-up every
+// lease is a freelist hit (see workspace.hpp and test_workspace.cpp).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+
+#include "dovetail/core/sort_options.hpp"
+#include "dovetail/core/sort_stats.hpp"
+#include "dovetail/core/workspace.hpp"
+#include "dovetail/parallel/parallel_for.hpp"
+#include "dovetail/parallel/primitives.hpp"
+#include "dovetail/parallel/scheduler.hpp"
+
+namespace dovetail {
+
+struct distribute_options {
+  scatter_strategy strategy = scatter_strategy::automatic;
+  // Set by stable sorts: downgrades an `unstable` strategy request to
+  // `automatic` so a pass can never silently break a stability guarantee.
+  bool require_stable = false;
+  // Staging bytes per (block, bucket) for the buffered scatter; rounded
+  // down to whole records, minimum 4 records.
+  std::size_t buffer_bytes = 256;
+  // Scratch arena; nullptr = a private ephemeral workspace per call (slabs
+  // are still pooled across the phases of the call, then freed).
+  sort_workspace* workspace = nullptr;
+  sort_stats* stats = nullptr;
+};
+
+namespace detail {
+
+struct block_geometry {
+  std::size_t nblocks;
+  std::size_t bsize;
+};
+
+// Appendix B: keep the counting matrix around L1/L2 size — blocks of at
+// least max(8*B, 16384) records, at most 8 blocks per worker.
+inline block_geometry distribution_blocks(std::size_t n,
+                                          std::size_t num_buckets) {
+  const auto p = static_cast<std::size_t>(par::num_workers());
+  const std::size_t min_block = std::max<std::size_t>(8 * num_buckets, 16384);
+  const std::size_t nblocks = std::clamp<std::size_t>(n / min_block, 1, 8 * p);
+  return {nblocks, (n + nblocks - 1) / nblocks};
+}
+
+// Phase 1 of the engine: zero and fill the L x B counting matrix, one row
+// per block. `bucket_at(i)` is the bucket of record i (an id-array read or
+// a direct bucket_of evaluation).
+template <typename GetBucket>
+void count_blocks(std::size_t n, std::size_t num_buckets,
+                  const block_geometry& g, const GetBucket& bucket_at,
+                  std::span<std::size_t> counts) {
+  par::parallel_for(
+      0, g.nblocks,
+      [&, bsize = g.bsize](std::size_t b) {
+        const std::size_t lo = b * bsize, hi = std::min(n, lo + bsize);
+        std::size_t* row = counts.data() + b * num_buckets;
+        std::fill(row, row + num_buckets, 0);
+        for (std::size_t i = lo; i < hi; ++i) ++row[bucket_at(i)];
+      },
+      1);
+}
+
+// Column sums of the counting matrix: totals[k] = bucket k's size.
+inline void column_totals(std::span<const std::size_t> counts,
+                          std::size_t nblocks, std::size_t num_buckets,
+                          std::span<std::size_t> totals) {
+  par::parallel_for(0, num_buckets, [&](std::size_t k) {
+    std::size_t c = 0;
+    for (std::size_t b = 0; b < nblocks; ++b) c += counts[b * num_buckets + k];
+    totals[k] = c;
+  });
+}
+
+template <typename Rec>
+scatter_strategy resolve_scatter(scatter_strategy s, std::size_t n,
+                                 std::size_t num_buckets) {
+  if (s == scatter_strategy::automatic) {
+    // Buffered staging pays once there are enough cursors that direct
+    // stores walk a working set wider than the TLB/cache reach, and enough
+    // records per bucket to fill bursts. Above ~8k buckets the staging
+    // buffers themselves outgrow L2 and the trick backfires (measured in
+    // bench_distribute: B=65536 buffered is ~1.3x slower than direct).
+    if (std::is_trivially_copyable_v<Rec> && num_buckets >= 256 &&
+        num_buckets <= 8192 && n >= 64 * num_buckets)
+      return scatter_strategy::buffered;
+    return scatter_strategy::direct;
+  }
+  if (s == scatter_strategy::buffered && !std::is_trivially_copyable_v<Rec>)
+    return scatter_strategy::direct;  // memcpy bursts need trivial copies
+  return s;
+}
+
+// Engine body, monomorphized on the id width.
+template <typename IdT, typename Rec, typename BucketFn>
+void distribute_ids(std::span<const Rec> in, std::span<Rec> out,
+                    std::size_t num_buckets, const BucketFn& bucket_of,
+                    std::span<std::size_t> offsets, sort_workspace& ws,
+                    scatter_strategy strategy, std::size_t buffer_bytes,
+                    sort_stats* stats) {
+  const std::size_t n = in.size();
+  const block_geometry g = distribution_blocks(n, num_buckets);
+  const std::size_t nblocks = g.nblocks, bsize = g.bsize;
+
+  // Phase 0: bucket ids, one bucket_of evaluation per record.
+  sort_workspace::lease id_lease = ws.acquire(n * sizeof(IdT), stats);
+  std::span<IdT> ids = id_lease.carve<IdT>(n);
+  par::parallel_for(0, n, [&](std::size_t i) {
+    ids[i] = static_cast<IdT>(bucket_of(in[i]));
+  });
+
+  // Phase 1: L x B counting matrix (+ bucket totals) from one leased slab.
+  // Leased memory is stale; count_blocks zeroes each row before counting.
+  sort_workspace::lease cm_lease = ws.acquire(
+      (nblocks + 1) * num_buckets * sizeof(std::size_t) + kSlabAlign, stats);
+  std::span<std::size_t> counts =
+      cm_lease.carve<std::size_t>(nblocks * num_buckets);
+  std::span<std::size_t> totals = cm_lease.carve<std::size_t>(num_buckets);
+  count_blocks(n, num_buckets, g, [&](std::size_t i) { return ids[i]; },
+               counts);
+
+  // Phase 2: bucket totals, then global bucket starts (small, sequential).
+  column_totals(counts, nblocks, num_buckets, totals);
+  std::size_t acc = 0;
+  for (std::size_t k = 0; k < num_buckets; ++k) {
+    offsets[k] = acc;
+    acc += totals[k];
+  }
+  offsets[num_buckets] = acc;
+
+  if (strategy == scatter_strategy::unstable) {
+    // Thm 4.1 scatter: per-bucket cursors claimed with fetch-and-add. The
+    // totals row doubles as cursor storage.
+    par::parallel_for(0, num_buckets,
+                      [&](std::size_t k) { totals[k] = offsets[k]; });
+    par::parallel_for(0, n, [&](std::size_t i) {
+      const std::size_t pos = std::atomic_ref<std::size_t>(totals[ids[i]])
+                                  .fetch_add(1, std::memory_order_relaxed);
+      out[pos] = in[i];
+    });
+    return;
+  }
+
+  // Turn counts into per-(block, bucket) output cursors; each cell is then
+  // owned by exactly one block, so the scatter is race-free and stable.
+  par::parallel_for(0, num_buckets, [&](std::size_t k) {
+    std::size_t cur = offsets[k];
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      const std::size_t c = counts[b * num_buckets + k];
+      counts[b * num_buckets + k] = cur;
+      cur += c;
+    }
+  });
+
+  // resolve_scatter never selects `buffered` for non-trivially-copyable
+  // records; the constexpr guard keeps the memcpy path uninstantiated so
+  // such record types (accepted by the direct and unstable scatters, which
+  // only copy-assign) still compile.
+  if (strategy == scatter_strategy::direct ||
+      !std::is_trivially_copyable_v<Rec>) {
+    par::parallel_for(
+        0, nblocks,
+        [&, bsize = bsize](std::size_t b) {
+          const std::size_t lo = b * bsize, hi = std::min(n, lo + bsize);
+          std::size_t* row = counts.data() + b * num_buckets;
+          for (std::size_t i = lo; i < hi; ++i) out[row[ids[i]]++] = in[i];
+        },
+        1);
+    return;
+  }
+
+  // Buffered scatter: stage per (block, bucket), flush in memcpy bursts.
+  if constexpr (std::is_trivially_copyable_v<Rec>) {
+    const std::size_t buf_records =
+        std::max<std::size_t>(4, buffer_bytes / sizeof(Rec));
+    par::parallel_for(
+        0, nblocks,
+        [&, bsize = bsize, buf_records](std::size_t b) {
+          sort_workspace::lease stage_lease =
+              ws.acquire(num_buckets * (buf_records * sizeof(Rec) +
+                                        sizeof(std::uint32_t)) +
+                             2 * kSlabAlign,
+                         stats);
+          std::span<Rec> stage =
+              stage_lease.carve<Rec>(num_buckets * buf_records);
+          std::span<std::uint32_t> fill =
+              stage_lease.carve<std::uint32_t>(num_buckets);
+          std::fill(fill.begin(), fill.end(), 0);
+          const std::size_t lo = b * bsize, hi = std::min(n, lo + bsize);
+          std::size_t* row = counts.data() + b * num_buckets;
+          for (std::size_t i = lo; i < hi; ++i) {
+            const std::size_t z = ids[i];
+            stage[z * buf_records + fill[z]] = in[i];
+            if (++fill[z] == buf_records) {
+              std::memcpy(out.data() + row[z], stage.data() + z * buf_records,
+                          buf_records * sizeof(Rec));
+              row[z] += buf_records;
+              fill[z] = 0;
+            }
+          }
+          for (std::size_t z = 0; z < num_buckets; ++z) {
+            if (fill[z] != 0)
+              std::memcpy(out.data() + row[z], stage.data() + z * buf_records,
+                          fill[z] * sizeof(Rec));
+          }
+        },
+        1);
+  }
+}
+
+}  // namespace detail
+
+// Distribute `in` into `out` by bucket id. `bucket_of(rec)` must return a
+// value in [0, num_buckets); `in` and `out` must not alias and must have
+// equal size; `offsets` must have size num_buckets + 1 and is filled so
+// that offsets[k] is the first index of bucket k in `out` and
+// offsets[num_buckets] == in.size(). Stable unless the `unstable` strategy
+// is requested explicitly; `direct` and `buffered` produce byte-identical
+// output.
+template <typename Rec, typename BucketFn>
+void distribute(std::span<const Rec> in, std::span<Rec> out,
+                std::size_t num_buckets, const BucketFn& bucket_of,
+                std::span<std::size_t> offsets,
+                const distribute_options& opt = {}) {
+  assert(offsets.size() == num_buckets + 1);
+  assert(in.size() == out.size());
+  const std::size_t n = in.size();
+  if (n == 0) {
+    std::fill(offsets.begin(), offsets.end(), 0);
+    return;
+  }
+  assert(in.data() != static_cast<const Rec*>(out.data()));
+  if (num_buckets == 1) {
+    // Single bucket: the permutation is the identity — one parallel copy,
+    // no id array, no counting matrix.
+    offsets[0] = 0;
+    offsets[1] = n;
+    par::copy(in, out);
+    return;
+  }
+  sort_workspace local_ws;  // used only when no workspace was passed
+  sort_workspace& ws = opt.workspace != nullptr ? *opt.workspace : local_ws;
+  scatter_strategy requested = opt.strategy;
+  if (opt.require_stable && requested == scatter_strategy::unstable)
+    requested = scatter_strategy::automatic;
+  const scatter_strategy s =
+      detail::resolve_scatter<Rec>(requested, n, num_buckets);
+  if (sort_stats* st = opt.stats; st != nullptr) {
+    switch (s) {
+      case scatter_strategy::direct:
+        st->scatter_direct_calls.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case scatter_strategy::buffered:
+        st->scatter_buffered_calls.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case scatter_strategy::unstable:
+        st->scatter_unstable_calls.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case scatter_strategy::automatic:
+        break;  // unreachable after resolution
+    }
+  }
+  if (num_buckets <= (std::size_t{1} << 16)) {
+    detail::distribute_ids<std::uint16_t>(in, out, num_buckets, bucket_of,
+                                          offsets, ws, s, opt.buffer_bytes,
+                                          opt.stats);
+  } else {
+    detail::distribute_ids<std::uint32_t>(in, out, num_buckets, bucket_of,
+                                          offsets, ws, s, opt.buffer_bytes,
+                                          opt.stats);
+  }
+}
+
+// Counting phase of the engine without the scatter: per-block histogram
+// reduced into `counts_out` (size num_buckets). Used by in-place sorts that
+// permute records within the input array instead of scattering out-of-place.
+template <typename Rec, typename BucketFn>
+void distribute_histogram(std::span<const Rec> in, std::size_t num_buckets,
+                          const BucketFn& bucket_of,
+                          std::span<std::size_t> counts_out,
+                          const distribute_options& opt = {}) {
+  assert(counts_out.size() == num_buckets);
+  const std::size_t n = in.size();
+  if (n == 0 || num_buckets == 1) {
+    std::fill(counts_out.begin(), counts_out.end(), 0);
+    if (num_buckets == 1) counts_out[0] = n;
+    return;
+  }
+  sort_workspace local_ws;  // used only when no workspace was passed
+  sort_workspace& ws = opt.workspace != nullptr ? *opt.workspace : local_ws;
+  const detail::block_geometry g =
+      detail::distribution_blocks(n, num_buckets);
+  sort_workspace::lease cm_lease =
+      ws.acquire(g.nblocks * num_buckets * sizeof(std::size_t), opt.stats);
+  std::span<std::size_t> counts =
+      cm_lease.carve<std::size_t>(g.nblocks * num_buckets);
+  detail::count_blocks(n, num_buckets, g,
+                       [&](std::size_t i) { return bucket_of(in[i]); },
+                       counts);
+  detail::column_totals(counts, g.nblocks, num_buckets, counts_out);
+}
+
+}  // namespace dovetail

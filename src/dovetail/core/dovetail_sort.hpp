@@ -31,11 +31,12 @@
 #include <vector>
 
 #include "dovetail/core/bucket_table.hpp"
-#include "dovetail/core/counting_sort.hpp"
+#include "dovetail/core/distribute.hpp"
 #include "dovetail/core/dt_merge.hpp"
 #include "dovetail/core/sampling.hpp"
 #include "dovetail/core/sort_options.hpp"
 #include "dovetail/core/sort_stats.hpp"
+#include "dovetail/core/workspace.hpp"
 #include "dovetail/parallel/parallel_for.hpp"
 #include "dovetail/parallel/primitives.hpp"
 #include "dovetail/parallel/random.hpp"
@@ -70,10 +71,19 @@ class dt_sorter {
 
   void run() {
     if (a_.size() <= 1) return;
-    buf_.reset(new Rec[a_.size()]);
-    t_ = std::span<Rec>(buf_.get(), a_.size());
+    // All engine scratch — the ping-pong buffer, bucket-id arrays,
+    // counting matrices and offsets — comes from one workspace, sized at
+    // the top level and reused across every recursion level. An external
+    // workspace (opt.workspace) additionally carries that memory across
+    // repeated sorts, so warm re-sorts perform zero workspace allocations
+    // (see test_workspace.cpp); only the small per-node sampling and
+    // bucket-table vectors still touch the heap.
+    sort_workspace local_ws;
+    ws_ = opt_.workspace != nullptr ? opt_.workspace : &local_ws;
+    t_ = ws_->template record_buffer<Rec>(a_.size(), opt_.stats);
     sort_rec(0, a_.size(), std::numeric_limits<key_type>::digits,
              /*in_a=*/true, opt_.seed, /*depth=*/1);
+    ws_ = nullptr;
   }
 
  private:
@@ -155,8 +165,16 @@ class dt_sorter {
       if (has_overflow && (kp >> eff_bits) != 0) return bt.overflow_id();
       return bt.lookup(kp);
     };
-    const std::vector<std::size_t> offs =
-        counting_sort(data, oth.subspan(lo, n), nb, bucket_of);
+    sort_workspace::lease off_lease =
+        ws_->acquire((nb + 1) * sizeof(std::size_t), opt_.stats);
+    const std::span<std::size_t> offs = off_lease.carve<std::size_t>(nb + 1);
+    distribute_options dopt;
+    dopt.strategy = opt_.scatter;
+    dopt.require_stable = true;  // DTSort's stability guarantee
+    dopt.buffer_bytes = opt_.scatter_buffer_bytes;
+    dopt.workspace = ws_;
+    dopt.stats = opt_.stats;
+    distribute(data, oth.subspan(lo, n), nb, bucket_of, offs, dopt);
 
     if (sort_stats* st = opt_.stats; st != nullptr) {
       st->distributed_records.fetch_add(n, std::memory_order_relaxed);
@@ -239,7 +257,7 @@ class dt_sorter {
   std::span<Rec> t_;
   const KeyFn key_;
   const sort_options opt_;
-  std::unique_ptr<Rec[]> buf_;
+  sort_workspace* ws_ = nullptr;
   std::size_t log2n_ = 1;
   int gamma_ = 8;
   std::size_t stride_ = 8;
@@ -250,6 +268,8 @@ class dt_sorter {
 
 // Sort `data` stably by `key(record)` (an unsigned integer) in
 // non-decreasing order. O(n sqrt(log r)) work; uses O(n) extra space.
+// Pass a sort_workspace via opt.workspace to reuse that space (and all
+// distribution scratch) across repeated sorts.
 template <typename Rec, typename KeyFn>
 void dovetail_sort(std::span<Rec> data, const KeyFn& key,
                    const sort_options& opt = {}) {

@@ -22,6 +22,10 @@ namespace dovetail {
 
 // Reorders `data` so records with equal key(r) are adjacent. Stable within
 // each group (relative input order preserved). O(n sqrt(log n)) work.
+// Distribution runs through the unified engine (distribute.hpp), so
+// opt.workspace / opt.scatter apply here exactly as in dovetail_sort:
+// passing the same workspace to repeated semisorts reuses all O(n)
+// scratch after warm-up.
 template <typename Rec, typename KeyFn>
 void semisort(std::span<Rec> data, const KeyFn& key,
               const sort_options& opt = {}) {

@@ -9,6 +9,29 @@
 namespace dovetail {
 
 struct sort_stats;
+class sort_workspace;
+
+// How the distribution engine (distribute.hpp) scatters records to their
+// bucket positions:
+//   automatic — pick per call: `buffered` when the bucket count is large
+//               enough that direct stores thrash the TLB/cache and the
+//               record type is trivially copyable, else `direct`.
+//   direct    — one store per record straight to the output cursor (the
+//               classic blocked counting sort of Sec 2.4 / Appendix B).
+//   buffered  — stage records in per-(block, bucket) cache-line-sized
+//               software buffers and flush each buffer with one contiguous
+//               memcpy burst (the RADULS trick). Stable, byte-identical
+//               output to `direct`.
+//   unstable  — one atomic fetch-and-add per record claims the output slot
+//               (Thm 4.1 / Appendix B). Records of a bucket land in
+//               arbitrary order; never chosen automatically, and treated as
+//               `automatic` by the stable sorts (DTSort, LSD, MSD).
+enum class scatter_strategy : std::uint8_t {
+  automatic,
+  direct,
+  buffered,
+  unstable,
+};
 
 struct sort_options {
   // Digit width γ in bits. 0 = auto: log2(cbrt(n)) clamped to [8, 12],
@@ -43,6 +66,24 @@ struct sort_options {
   // recursive call. The output is NOT fully sorted when heavy buckets
   // exist; this isolates the cost of the other steps as in Sec 6.3.
   bool ablate_skip_merge = false;
+
+  // Scatter strategy for every distribution pass (see the enum above).
+  // `unstable` would break DTSort's stability guarantee and is treated as
+  // `automatic` here; request it only through distribute()/
+  // unstable_counting_sort() directly.
+  scatter_strategy scatter = scatter_strategy::automatic;
+
+  // Staging bytes per bucket for the `buffered` scatter (per block). Rounded
+  // down to whole records, minimum 4 records.
+  std::size_t scatter_buffer_bytes = 256;
+
+  // Reusable memory arena (see workspace.hpp). Pass the same workspace to
+  // repeated sorts and every size-proportional scratch buffer is reused
+  // instead of reallocated after the first run; nullptr = a private
+  // ephemeral workspace per call (scratch slabs are still pooled within
+  // the call, across recursion levels). A workspace may serve only one
+  // sort at a time.
+  sort_workspace* workspace = nullptr;
 
   // Optional work instrumentation (see sort_stats.hpp); nullptr = off.
   sort_stats* stats = nullptr;

@@ -43,6 +43,21 @@ struct sort_stats {
   // Deepest recursion level that performed a distribution (root = 1).
   std::atomic<std::uint64_t> max_depth{0};
 
+  // --- Distribution-engine counters (distribute.hpp / workspace.hpp) ---
+  // Fresh slab/arena allocations performed by the sort workspace. With a
+  // reused workspace this stops growing after warm-up (the zero-hot-path-
+  // allocation property; see test_workspace.cpp).
+  std::atomic<std::uint64_t> workspace_allocations{0};
+  // Checkouts served from the workspace freelist / an already-sized arena.
+  std::atomic<std::uint64_t> workspace_reuses{0};
+  // Bytes newly allocated by the workspace (slab capacities, not requests).
+  std::atomic<std::uint64_t> workspace_bytes_allocated{0};
+  // Distribution calls per scatter strategy actually executed (after
+  // `automatic` resolution) — lets tests and benchmarks confirm routing.
+  std::atomic<std::uint64_t> scatter_direct_calls{0};
+  std::atomic<std::uint64_t> scatter_buffered_calls{0};
+  std::atomic<std::uint64_t> scatter_unstable_calls{0};
+
   void reset() {
     distributed_records = 0;
     heavy_records = 0;
@@ -53,6 +68,12 @@ struct sort_stats {
     num_distributions = 0;
     num_heavy_buckets = 0;
     max_depth = 0;
+    workspace_allocations = 0;
+    workspace_reuses = 0;
+    workspace_bytes_allocated = 0;
+    scatter_direct_calls = 0;
+    scatter_buffered_calls = 0;
+    scatter_unstable_calls = 0;
   }
 
   void note_depth(std::uint64_t d) {

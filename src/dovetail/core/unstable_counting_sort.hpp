@@ -1,25 +1,26 @@
-// Unstable parallel counting sort — the theoretical distribution primitive
-// of Thm 4.1 (Rajasekaran-Reif [47], discussed in Appendix B).
-//
-// Work O(n' + r'), span O(log n) whp, but unstable: records of a bucket
-// land in arbitrary order. We implement the practical skeleton of the idea:
-// bucket cursors are claimed with atomic fetch-and-add, so every record
-// performs exactly one (random-access) write with no per-block counting
-// matrix and no second pass over the input.
+// Unstable parallel counting sort — the practical skeleton of the
+// theoretical distribution primitive of Thm 4.1 (Rajasekaran-Reif [47],
+// discussed in Appendix B): in the scatter, bucket cursors are claimed with
+// atomic fetch-and-add, so every record performs exactly one random-access
+// write and no per-(block, bucket) cursor conversion is needed.
 //
 // Appendix B explains why this is *less* practical than the stable blocked
 // version despite the better span: the scattered atomic writes are
-// I/O-unfriendly. bench_counting_sort measures both so the trade-off the
-// paper describes is reproducible.
+// I/O-unfriendly. bench_counting_sort and bench_distribute measure both so
+// the trade-off the paper describes is reproducible.
+//
+// Implemented as the `unstable` scatter strategy of the unified
+// distribution engine (distribute.hpp), sharing its id precompute, blocked
+// counting phase and workspace reuse with the stable path — so the numbers
+// isolate the scatter itself, not incidental differences in counting.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <span>
 #include <vector>
 
-#include "dovetail/parallel/parallel_for.hpp"
-#include "dovetail/parallel/primitives.hpp"
+#include "dovetail/core/counting_sort.hpp"
+#include "dovetail/core/distribute.hpp"
 
 namespace dovetail {
 
@@ -30,32 +31,9 @@ std::vector<std::size_t> unstable_counting_sort(std::span<const Rec> in,
                                                 std::span<Rec> out,
                                                 std::size_t num_buckets,
                                                 const BucketFn& bucket_of) {
-  const std::size_t n = in.size();
-  std::vector<std::size_t> offsets(num_buckets + 1, 0);
-  if (n == 0) return offsets;
-
-  // Bucket sizes, then starts.
-  std::vector<std::size_t> sizes =
-      par::histogram(n, num_buckets,
-                     [&](std::size_t i) { return bucket_of(in[i]); });
-  std::size_t acc = 0;
-  for (std::size_t k = 0; k < num_buckets; ++k) {
-    offsets[k] = acc;
-    acc += sizes[k];
-  }
-  offsets[num_buckets] = acc;
-
-  // One atomic cursor per bucket; every record claims a slot and writes it.
-  std::vector<std::atomic<std::size_t>> cursors(num_buckets);
-  par::parallel_for(0, num_buckets,
-                    [&](std::size_t k) { cursors[k].store(offsets[k]); });
-  par::parallel_for(0, n, [&](std::size_t i) {
-    const std::size_t k = bucket_of(in[i]);
-    const std::size_t pos =
-        cursors[k].fetch_add(1, std::memory_order_relaxed);
-    out[pos] = in[i];
-  });
-  return offsets;
+  distribute_options opt;
+  opt.strategy = scatter_strategy::unstable;
+  return counting_sort(in, out, num_buckets, bucket_of, opt);
 }
 
 }  // namespace dovetail

@@ -1,0 +1,244 @@
+// sort_workspace — the reusable memory arena behind the distribution engine
+// (distribute.hpp).
+//
+// The paper's distribution phase (Sec 2.4 / Appendix B) is allocation-
+// disciplined: the counting matrix, bucket-id array and offsets are sized by
+// the subproblem, not the input, and the ping-pong record buffer is sized
+// once for the whole sort. The seed implementation re-allocated all of them
+// on every recursive call; this arena makes them reusable, so after warm-up
+// every size-proportional scratch buffer is a reuse, not a malloc. (Small
+// per-node allocations outside the engine — sampling vectors, bucket-table
+// construction — remain; the arena covers the O(n')-sized scratch.)
+//
+// Two kinds of storage:
+//  * record_buffer<Rec>(n) — the ping-pong "T" array of the (A, T) buffer
+//    pair. One per workspace, grown monotonically, reused across recursion
+//    levels and across repeated sorts. NOT thread-safe: a workspace serves
+//    one in-flight sort at a time (concurrent sorts need distinct
+//    workspaces).
+//  * acquire(bytes) — an RAII lease on a 64-byte-aligned scratch slab from a
+//    size-classed freelist pool (counting matrices, id arrays, offsets,
+//    scatter staging buffers). Thread-safe: recursive subproblems running in
+//    parallel on scheduler workers lease and return slabs concurrently.
+//    Slabs are pow2-sized, so after warm-up every size class is populated
+//    and checkouts are pure reuse.
+//
+// Leased memory is uninitialized (reused slabs hold stale bytes); callers
+// zero what they read before writing. Counters (allocations / reuses /
+// bytes) feed the matching sort_stats fields so the reuse win is measurable
+// — see test_workspace.cpp and bench_distribute.cpp.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <span>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "dovetail/core/sort_stats.hpp"
+#include "dovetail/util/bits.hpp"
+
+namespace dovetail {
+
+namespace detail {
+
+inline constexpr std::size_t kSlabAlign = 64;   // cache line
+inline constexpr std::size_t kMinSlabBytes = 64;
+inline constexpr int kNumSizeClasses = 64;
+
+struct slab_deleter {
+  void operator()(std::byte* p) const noexcept {
+    ::operator delete(static_cast<void*>(p), std::align_val_t{kSlabAlign});
+  }
+};
+using slab_ptr = std::unique_ptr<std::byte, slab_deleter>;
+
+inline slab_ptr make_slab(std::size_t bytes) {
+  return slab_ptr(
+      static_cast<std::byte*>(::operator new(bytes, std::align_val_t{kSlabAlign})));
+}
+
+// Slabs are pow2-sized; the class index is log2 of the capacity.
+inline int size_class_of(std::size_t bytes) noexcept {
+  return static_cast<int>(ceil_log2(std::max(bytes, kMinSlabBytes)));
+}
+
+}  // namespace detail
+
+class sort_workspace {
+ public:
+  // RAII checkout of one scratch slab. Carve typed arrays out of it with
+  // `carve<T>(count)`; the slab returns to the workspace freelist when the
+  // lease goes out of scope.
+  class lease {
+   public:
+    lease() = default;
+    lease(lease&& o) noexcept
+        : ws_(std::exchange(o.ws_, nullptr)),
+          data_(std::exchange(o.data_, nullptr)),
+          capacity_(o.capacity_),
+          size_class_(o.size_class_),
+          used_(o.used_) {}
+    lease& operator=(lease&& o) noexcept {
+      if (this != &o) {
+        release();
+        ws_ = std::exchange(o.ws_, nullptr);
+        data_ = std::exchange(o.data_, nullptr);
+        capacity_ = o.capacity_;
+        size_class_ = o.size_class_;
+        used_ = o.used_;
+      }
+      return *this;
+    }
+    lease(const lease&) = delete;
+    lease& operator=(const lease&) = delete;
+    ~lease() { release(); }
+
+    // Next `count` elements of T, suitably aligned, UNinitialized.
+    template <typename T>
+    std::span<T> carve(std::size_t count) {
+      static_assert(std::is_trivially_copyable_v<T>);
+      static_assert(alignof(T) <= detail::kSlabAlign);
+      const std::size_t off = (used_ + alignof(T) - 1) & ~(alignof(T) - 1);
+      assert(off + count * sizeof(T) <= capacity_ && "lease overcommitted");
+      used_ = off + count * sizeof(T);
+      return {reinterpret_cast<T*>(data_ + off), count};
+    }
+
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+    [[nodiscard]] explicit operator bool() const noexcept {
+      return data_ != nullptr;
+    }
+
+   private:
+    friend class sort_workspace;
+    lease(sort_workspace* ws, std::byte* data, std::size_t cap, int cls)
+        : ws_(ws), data_(data), capacity_(cap), size_class_(cls) {}
+    void release() noexcept {
+      if (ws_ != nullptr) {
+        ws_->return_slab(data_, size_class_);
+        ws_ = nullptr;
+        data_ = nullptr;
+      }
+    }
+
+    sort_workspace* ws_ = nullptr;
+    std::byte* data_ = nullptr;
+    std::size_t capacity_ = 0;
+    int size_class_ = 0;
+    std::size_t used_ = 0;
+  };
+
+  sort_workspace() = default;
+  sort_workspace(const sort_workspace&) = delete;
+  sort_workspace& operator=(const sort_workspace&) = delete;
+
+  // Check out a scratch slab of at least `bytes` bytes (rounded up to a
+  // power of two). Thread-safe. If `stats` is non-null the matching
+  // workspace_* counters are bumped.
+  lease acquire(std::size_t bytes, sort_stats* stats = nullptr) {
+    const int cls = detail::size_class_of(bytes);
+    const std::size_t cap = std::size_t{1} << cls;
+    std::byte* p = nullptr;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      auto& bin = free_[cls];
+      if (!bin.empty()) {
+        p = bin.back().release();
+        bin.pop_back();
+      }
+    }
+    if (p != nullptr) {
+      note_reuse(stats);
+    } else {
+      p = detail::make_slab(cap).release();
+      note_alloc(cap, stats);
+    }
+    return lease(this, p, cap, cls);
+  }
+
+  // The ping-pong record buffer: one dedicated arena per workspace, grown
+  // monotonically and reused by every subsequent sort whose footprint fits.
+  // NOT thread-safe — one in-flight sort per workspace.
+  template <typename Rec>
+  std::span<Rec> record_buffer(std::size_t n, sort_stats* stats = nullptr) {
+    static_assert(std::is_trivially_copyable_v<Rec>);
+    static_assert(alignof(Rec) <= detail::kSlabAlign);
+    const std::size_t need = n * sizeof(Rec);
+    if (need > arena_capacity_) {
+      const std::size_t cap = next_pow2(std::max(need, detail::kMinSlabBytes));
+      arena_ = detail::make_slab(cap);  // old arena (if any) freed here
+      arena_capacity_ = cap;
+      note_alloc(cap, stats);
+    } else if (n > 0) {
+      note_reuse(stats);
+    }
+    return {reinterpret_cast<Rec*>(arena_.get()), n};
+  }
+
+  // Drop all idle memory (freelisted slabs + the record arena). Leased
+  // slabs are unaffected and return to the (now empty) freelists later.
+  void trim() {
+    std::lock_guard<std::mutex> g(mu_);
+    for (auto& bin : free_) bin.clear();
+    arena_.reset();
+    arena_capacity_ = 0;
+  }
+
+  // Cumulative counters (never reset by trim()).
+  [[nodiscard]] std::uint64_t allocations() const noexcept {
+    return allocations_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t reuses() const noexcept {
+    return reuses_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t allocated_bytes() const noexcept {
+    return allocated_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class lease;
+
+  void return_slab(std::byte* p, int cls) noexcept {
+    detail::slab_ptr slab(p);
+    std::lock_guard<std::mutex> g(mu_);
+    try {
+      free_[cls].push_back(std::move(slab));
+    } catch (...) {
+      // Growing the freelist failed (OOM): drop the slab (freed by `slab`)
+      // rather than letting bad_alloc escape a noexcept destructor path.
+    }
+  }
+
+  void note_alloc(std::size_t cap, sort_stats* stats) noexcept {
+    allocations_.fetch_add(1, std::memory_order_relaxed);
+    allocated_bytes_.fetch_add(cap, std::memory_order_relaxed);
+    if (stats != nullptr) {
+      stats->workspace_allocations.fetch_add(1, std::memory_order_relaxed);
+      stats->workspace_bytes_allocated.fetch_add(cap,
+                                                 std::memory_order_relaxed);
+    }
+  }
+  void note_reuse(sort_stats* stats) noexcept {
+    reuses_.fetch_add(1, std::memory_order_relaxed);
+    if (stats != nullptr)
+      stats->workspace_reuses.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::mutex mu_;
+  std::vector<detail::slab_ptr> free_[detail::kNumSizeClasses];
+  detail::slab_ptr arena_;
+  std::size_t arena_capacity_ = 0;
+  std::atomic<std::uint64_t> allocations_{0};
+  std::atomic<std::uint64_t> reuses_{0};
+  std::atomic<std::uint64_t> allocated_bytes_{0};
+};
+
+}  // namespace dovetail

@@ -115,8 +115,20 @@ template <typename L, typename R>
 void pardo(L&& left, R&& right) {
   scheduler& s = scheduler::get();
   if (s.num_workers() == 1 || scheduler::worker_id() < 0) {
-    left();
-    right();
+    // Serial path: both branches still run even if one throws (same join
+    // guarantee as the parallel path), rethrowing left's exception first.
+    std::exception_ptr ex{};
+    try {
+      left();
+    } catch (...) {
+      ex = std::current_exception();
+    }
+    try {
+      right();
+    } catch (...) {
+      if (!ex) ex = std::current_exception();
+    }
+    if (ex) std::rethrow_exception(ex);
     return;
   }
   detail::forked_task<std::decay_t<R>> rt(std::forward<R>(right));
