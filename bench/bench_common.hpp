@@ -1,15 +1,17 @@
-// Shared infrastructure for the benchmark harness: input caching, manual
-// timing, and paper-style result tables (absolute seconds + the
+// Shared benchmark infrastructure: environment scale knobs, the pristine
+// input cache, and paper-style result tables (absolute seconds + the
 // relative-to-best heatmap of Fig 1, with the geometric-mean row of Tab 3).
+// The timing loop, correctness cross-check and JSON emission live in
+// harness.hpp; scenario definitions live in the scenarios_*.hpp headers,
+// all driven by the single bench_suite binary.
 //
-// Scale knobs (environment variables):
-//   DTBENCH_N     records per instance          (default 2,000,000)
-//   DTBENCH_REPS  timed repetitions, median kept (default 3)
-// The paper runs n = 1e9 on 96 cores; the defaults here target a laptop.
-// Absolute times differ; the relative shapes are what the harness reports.
+// Scale knobs (environment variables, overridable by bench_suite flags):
+//   DTBENCH_N     records per instance          (default 1,000,000)
+//   DTBENCH_REPS  timed repetitions per scenario (default 3)
+// The paper runs n = 1e9 on 96 cores; the defaults here target a laptop or
+// CI container. Absolute times differ; the relative shapes are what the
+// suite reports.
 #pragma once
-
-#include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cmath>
@@ -21,10 +23,7 @@
 #include <vector>
 
 #include "dovetail/generators/synthetic.hpp"
-#include "dovetail/parallel/scheduler.hpp"
-#include "dovetail/util/algorithms.hpp"
 #include "dovetail/util/record.hpp"
-#include "dovetail/util/timer.hpp"
 
 namespace dtb {
 
@@ -38,7 +37,7 @@ inline std::size_t env_size(const char* name, std::size_t dflt) {
 }
 
 inline std::size_t bench_n() {
-  static const std::size_t n = env_size("DTBENCH_N", 4'000'000);
+  static const std::size_t n = env_size("DTBENCH_N", 1'000'000);
   return n;
 }
 
@@ -150,60 +149,5 @@ class result_table {
   std::vector<std::string> rows_, cols_;
   std::map<std::string, std::map<std::string, double>> cells_;
 };
-
-inline result_table& global_results() {
-  static result_table t;
-  return t;
-}
-
-// ---------------------------------------------------------------------------
-// Timing helper: copy pristine input, run `sort_fn(work_span)`, record the
-// median over the benchmark iterations into the global table.
-
-template <typename Rec, typename SortFn>
-void run_timed_iterations(benchmark::State& st,
-                          const std::vector<Rec>& input, SortFn&& sort_fn,
-                          const std::string& row, const std::string& col) {
-  std::vector<Rec> work(input.size());
-  std::vector<double> times;
-  for (auto _ : st) {
-    std::copy(input.begin(), input.end(), work.begin());
-    dovetail::timer t;
-    sort_fn(std::span<Rec>(work));
-    const double s = t.seconds();
-    st.SetIterationTime(s);
-    times.push_back(s);
-  }
-  if (!times.empty()) {
-    std::sort(times.begin(), times.end());
-    global_results().add(row, col, times[times.size() / 2]);
-  }
-  st.counters["n"] = static_cast<double>(input.size());
-}
-
-// Register one (instance x algorithm) cell as a google-benchmark.
-template <typename Rec>
-void register_algo_bench(const dovetail::gen::distribution& d, std::size_t n,
-                         dovetail::algo a, const char* key_width_tag) {
-  const std::string name = std::string("Table/") + key_width_tag + "/" +
-                           d.name + "/" + dovetail::algo_name(a);
-  benchmark::RegisterBenchmark(
-      name.c_str(),
-      [d, n, a](benchmark::State& st) {
-        const auto& input = cached_input<Rec>(d, n);
-        run_timed_iterations(
-            st, input,
-            [a](std::span<Rec> s) {
-              if constexpr (std::is_same_v<Rec, dovetail::kv32>)
-                dovetail::run_sorter(a, s, dovetail::key_of_kv32);
-              else
-                dovetail::run_sorter(a, s, dovetail::key_of_kv64);
-            },
-            d.name, dovetail::algo_name(a));
-      })
-      ->UseManualTime()
-      ->Iterations(bench_reps())
-      ->Unit(benchmark::kMillisecond);
-}
 
 }  // namespace dtb

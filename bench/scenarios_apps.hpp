@@ -1,0 +1,289 @@
+// Application scenarios (Tab 4 of the paper, with generated stand-ins for
+// its real-world inputs):
+//   apps-transpose — graph transpose: one stable integer sort of the edge
+//                    list by destination + CSR rebuild, per algorithm.
+//                    Power-law graphs play the social/web roles, a kNN-like
+//                    graph the simulation role.
+//   apps-morton    — Morton (z-order) sort of 2D/3D point sets: z-value
+//                    computation + integer sort + permutation.
+// Correctness: outputs are compared against a reference computed once per
+// case with std::stable_sort as the sorter; unstable algorithms are held to
+// the order- and multiset-level properties instead of exact equality.
+#pragma once
+
+#include "dovetail/apps/graph.hpp"
+#include "dovetail/apps/morton.hpp"
+#include "dovetail/generators/graphs.hpp"
+#include "dovetail/generators/points.hpp"
+#include "dovetail/util/algorithms.hpp"
+#include "harness.hpp"
+
+namespace dtb {
+
+namespace detail {
+
+inline constexpr auto std_stable_sorter = [](auto span, auto key) {
+  std::stable_sort(span.begin(), span.end(),
+                   [&](const auto& x, const auto& y) {
+                     return key(x) < key(y);
+                   });
+};
+
+// Order-independent multiset fingerprint of a CSR graph's (vertex, source)
+// incidence pairs: equal for two graphs iff (whp) they hold the same edges,
+// regardless of the order of sources within a vertex's block.
+inline std::uint64_t csr_fingerprint(const dovetail::app::csr_graph& g) {
+  std::uint64_t fp = 0;
+  for (std::uint32_t v = 0; v < g.num_vertices; ++v)
+    for (const std::uint32_t t : g.neighbors(v))
+      fp += dovetail::par::hash64((static_cast<std::uint64_t>(v) << 32) | t);
+  return fp;
+}
+
+struct graph_case {
+  std::string name;
+  dovetail::app::csr_graph graph;
+  dovetail::app::csr_graph reference;  // transpose via std::stable_sort
+};
+
+inline const std::vector<graph_case>& graph_cases(std::size_t m) {
+  static std::map<std::size_t, std::vector<graph_case>> cache;
+  auto it = cache.find(m);
+  if (it != cache.end()) return it->second;
+  namespace app = dovetail::app;
+  namespace gen = dovetail::gen;
+  const auto v = static_cast<std::uint32_t>(std::max<std::size_t>(1000, m / 16));
+  std::vector<graph_case> out;
+  const auto add = [&](std::string name, std::vector<app::edge> edges) {
+    app::csr_graph g = app::build_csr(v, std::move(edges), std_stable_sorter);
+    app::csr_graph ref = app::transpose(g, std_stable_sorter);
+    out.push_back({std::move(name), std::move(g), std::move(ref)});
+  };
+  add("PowerLaw-1.2", gen::powerlaw_graph(v, m, 1.2, 61));  // TW/SD-like
+  add("PowerLaw-0.8", gen::powerlaw_graph(v, m, 0.8, 62));  // LJ-like
+  add("Uniform", gen::uniform_graph(v, m, 63));
+  add("kNN-16", gen::knn_graph(v, 16, 64));                 // CM-like
+  return cache.emplace(m, std::move(out)).first->second;
+}
+
+struct morton2d_case {
+  std::string name;
+  std::vector<dovetail::app::point2d> pts;
+  std::vector<dovetail::app::point2d> reference;
+};
+struct morton3d_case {
+  std::string name;
+  std::vector<dovetail::app::point3d> pts;
+  std::vector<dovetail::app::point3d> reference;
+};
+
+inline const std::vector<morton2d_case>& morton2d_cases(std::size_t n) {
+  static std::map<std::size_t, std::vector<morton2d_case>> cache;
+  auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+  namespace app = dovetail::app;
+  namespace gen = dovetail::gen;
+  std::vector<morton2d_case> out;
+  const auto add = [&](std::string name, std::vector<app::point2d> pts) {
+    auto ref = app::morton_sort_2d(std::span<const app::point2d>(pts),
+                                   std_stable_sorter);
+    out.push_back({std::move(name), std::move(pts), std::move(ref)});
+  };
+  add("Unif2d", gen::uniform_points_2d(n, 16, 71));
+  add("Varden2d", gen::varden_points_2d(n, 1000, 16, 72));
+  return cache.emplace(n, std::move(out)).first->second;
+}
+
+inline const std::vector<morton3d_case>& morton3d_cases(std::size_t n) {
+  static std::map<std::size_t, std::vector<morton3d_case>> cache;
+  auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+  namespace app = dovetail::app;
+  namespace gen = dovetail::gen;
+  std::vector<morton3d_case> out;
+  const auto add = [&](std::string name, std::vector<app::point3d> pts) {
+    auto ref = app::morton_sort_3d(std::span<const app::point3d>(pts),
+                                   std_stable_sorter);
+    out.push_back({std::move(name), std::move(pts), std::move(ref)});
+  };
+  add("Unif3d", gen::uniform_points_3d(n, 21, 74));
+  add("Varden3d", gen::varden_points_3d(n, 1000, 21, 75));
+  return cache.emplace(n, std::move(out)).first->second;
+}
+
+template <typename Zrec>
+std::uint64_t z_fingerprint(const std::vector<Zrec>& recs) {
+  std::uint64_t fp = 0;
+  for (const auto& r : recs)
+    fp += dovetail::par::hash64(static_cast<std::uint64_t>(r.key) ^
+                                0xA24BAED4963EE407ull);
+  return fp;
+}
+
+}  // namespace detail
+
+inline void register_apps_scenarios(const run_config& cfg) {
+  namespace app = dovetail::app;
+  const std::size_t n = cfg.n;
+
+  // Case name lists mirror the builders in detail:: — keep in sync. Named
+  // here so registration (and --list) never builds the actual inputs.
+  static const std::vector<std::string> graph_names = {
+      "PowerLaw-1.2", "PowerLaw-0.8", "Uniform", "kNN-16"};
+  static const std::vector<std::string> morton2d_names = {"Unif2d",
+                                                          "Varden2d"};
+  static const std::vector<std::string> morton3d_names = {"Unif3d",
+                                                          "Varden3d"};
+
+  // --- apps-transpose ---
+  for (std::size_t ci = 0; ci < graph_names.size(); ++ci) {
+    for (dovetail::algo a : dovetail::all_parallel_algos()) {
+      const std::string& case_name = graph_names[ci];
+      scenario s;
+      s.bench = "apps-transpose";
+      s.name = "apps/transpose/" + case_name + "/" + dovetail::algo_name(a);
+      s.paper = "Tab 4 (top): graph transpose (generated stand-ins)";
+      s.row = case_name;
+      s.col = dovetail::algo_name(a);
+      s.labels = {{"dist", case_name}, {"algo", dovetail::algo_name(a)},
+                  {"width", "32"}};
+      s.run = [n, ci, a, case_name](const run_config& rc) {
+        const auto& gc = detail::graph_cases(n)[ci];
+        scenario_result res;
+        if (gc.name != case_name) {  // registration/builder lists in sync?
+          res.check = "fail";
+          res.check_detail = "case list mismatch: built '" + gc.name +
+                             "', registered '" + case_name + "'";
+          return res;
+        }
+        res.n = gc.graph.num_edges();
+        const auto sorter = [a](auto sp, auto k) {
+          dovetail::run_sorter(a, sp, k,
+                               dovetail::sorter_context{&suite_workspace(),
+                                                        nullptr});
+        };
+        app::csr_graph gt;
+        const auto one_run = [&]() -> double {
+          dovetail::timer t;
+          gt = app::transpose(gc.graph, sorter);
+          return t.seconds();
+        };
+        run_warmups(rc.warmups, one_run);
+        run_timed_reps(rc.reps, res, one_run);
+        if (!rc.check) return res;
+        if (gt.offsets != gc.reference.offsets) {
+          res.check = "fail";
+          res.check_detail = "transposed offsets differ from reference";
+        } else if (dovetail::algo_is_stable(a) &&
+                   gt.targets != gc.reference.targets) {
+          res.check = "fail";
+          res.check_detail = "stable transpose targets differ from reference";
+        } else if (detail::csr_fingerprint(gt) !=
+                   detail::csr_fingerprint(gc.reference)) {
+          res.check = "fail";
+          res.check_detail = "transposed edge multiset differs from reference";
+        } else {
+          res.check = "pass";
+        }
+        return res;
+      };
+      scenario_registry::instance().add(std::move(s));
+    }
+  }
+
+  // --- apps-morton (2D and 3D) ---
+  const auto register_morton = [&](const std::string& case_name,
+                                   std::size_t ci, bool is_2d) {
+    for (dovetail::algo a : dovetail::all_parallel_algos()) {
+      scenario s;
+      s.bench = "apps-morton";
+      s.name = "apps/morton/" + case_name + "/" + dovetail::algo_name(a);
+      s.paper = "Tab 4 (bottom): Morton sort (generated stand-ins)";
+      s.row = case_name;
+      s.col = dovetail::algo_name(a);
+      s.labels = {{"dist", case_name}, {"algo", dovetail::algo_name(a)},
+                  {"width", is_2d ? "32" : "64"}};
+      s.run = [n, ci, a, is_2d, case_name](const run_config& rc) {
+        const auto sorter = [a](auto sp, auto k) {
+          dovetail::run_sorter(a, sp, k,
+                               dovetail::sorter_context{&suite_workspace(),
+                                                        nullptr});
+        };
+        const auto run_case = [&](const auto& mc, auto sort_call,
+                                  auto records_of) {
+          scenario_result res;
+          if (mc.name != case_name) {  // registration/builder lists in sync?
+            res.check = "fail";
+            res.check_detail = "case list mismatch: built '" + mc.name +
+                               "', registered '" + case_name + "'";
+            return res;
+          }
+          res.n = mc.pts.size();
+          std::decay_t<decltype(mc.pts)> out;
+          const auto one_run = [&]() -> double {
+            dovetail::timer t;
+            out = sort_call(mc.pts, sorter);
+            return t.seconds();
+          };
+          run_warmups(rc.warmups, one_run);
+          run_timed_reps(rc.reps, res, one_run);
+          if (!rc.check) return res;
+          if (dovetail::algo_is_stable(a)) {
+            res.check = out == mc.reference ? "pass" : "fail";
+            if (res.check == "fail")
+              res.check_detail = "stable Morton order differs from reference";
+            return res;
+          }
+          // Unstable: z-values must be non-decreasing and the z multiset
+          // must match the input's.
+          const auto zs = records_of(out);
+          for (std::size_t i = 1; i < zs.size(); ++i) {
+            if (zs[i - 1].key > zs[i].key) {
+              res.check = "fail";
+              res.check_detail = "z-values not sorted";
+              return res;
+            }
+          }
+          res.check = detail::z_fingerprint(zs) ==
+                              detail::z_fingerprint(records_of(mc.pts))
+                          ? "pass"
+                          : "fail";
+          if (res.check == "fail")
+            res.check_detail = "z multiset differs from the input's";
+          return res;
+        };
+        if (is_2d) {
+          const auto& mc = detail::morton2d_cases(n)[ci];
+          return run_case(
+              mc,
+              [](const auto& pts, const auto& srt) {
+                return app::morton_sort_2d(
+                    std::span<const app::point2d>(pts), srt);
+              },
+              [](const auto& pts) {
+                return app::morton_records_2d32(
+                    std::span<const app::point2d>(pts));
+              });
+        }
+        const auto& mc = detail::morton3d_cases(n)[ci];
+        return run_case(
+            mc,
+            [](const auto& pts, const auto& srt) {
+              return app::morton_sort_3d(std::span<const app::point3d>(pts),
+                                         srt);
+            },
+            [](const auto& pts) {
+              return app::morton_records_3d(
+                  std::span<const app::point3d>(pts));
+            });
+      };
+      scenario_registry::instance().add(std::move(s));
+    }
+  };
+  for (std::size_t ci = 0; ci < morton2d_names.size(); ++ci)
+    register_morton(morton2d_names[ci], ci, true);
+  for (std::size_t ci = 0; ci < morton3d_names.size(); ++ci)
+    register_morton(morton3d_names[ci], ci, false);
+}
+
+}  // namespace dtb

@@ -1,0 +1,113 @@
+// The sorter x distribution x key-width x payload matrix (Tab 3 + Fig 1 of
+// the paper, extended): every registered sorter — DovetailSort, the five
+// baseline roles, the stable samplesort variant and sequential
+// std::stable_sort — on the 20 synthetic instances, for 8-byte (kv32),
+// 16-byte (kv64) and 32-byte (kv32w) records. Also the "theory" family:
+// the Sec 4 work-bound validation (Thm 4.4-4.7) via sort_stats, formerly
+// bench_theory_work.
+#pragma once
+
+#include "dovetail/util/algorithms.hpp"
+#include "harness.hpp"
+
+namespace dtb {
+
+// Sort-in-place closure for run_timed_sort, threading the harness's shared
+// workspace and stats sink into every implementation that supports them.
+template <typename Rec, typename KeyFn>
+auto algo_sort_fn(dovetail::algo a, KeyFn key) {
+  return [a, key](std::span<Rec> s, dovetail::sort_stats* st,
+                  dovetail::sort_workspace* ws) {
+    dovetail::run_sorter(a, s, key, dovetail::sorter_context{ws, st});
+  };
+}
+
+template <typename Rec, typename KeyFn>
+void register_matrix_cell(const run_config& cfg, const std::string& bench,
+                          const std::string& paper,
+                          const dovetail::gen::distribution& d,
+                          dovetail::algo a, const char* width_tag,
+                          KeyFn key) {
+  scenario s;
+  s.bench = bench;
+  s.name = bench + "/" + d.name + "/" + dovetail::algo_name(a);
+  s.paper = paper;
+  s.row = d.name;
+  s.col = dovetail::algo_name(a);
+  s.labels = {{"dist", d.name},
+              {"algo", dovetail::algo_name(a)},
+              {"width", width_tag},
+              {"bytes", std::to_string(sizeof(Rec))},
+              {"threads", std::to_string(cfg.max_threads())}};
+  const std::size_t n = cfg.n;
+  s.run = [d, a, n, key](const run_config& rc) {
+    const auto& input = cached_input<Rec>(d, n);
+    timed_sort_spec spec;
+    spec.check.stable = dovetail::algo_is_stable(a);
+    return run_timed_sort(rc, input, algo_sort_fn<Rec>(a, key), spec);
+  };
+  scenario_registry::instance().add(std::move(s));
+}
+
+inline void register_matrix_scenarios(const run_config& cfg) {
+  for (const auto& d : dovetail::gen::paper_distributions()) {
+    for (dovetail::algo a : dovetail::all_algos()) {
+      register_matrix_cell<dovetail::kv32>(
+          cfg, "table3-32", "Tab 3 (left), Fig 1: 32-bit key + value", d, a,
+          "32", dovetail::key_of_kv32);
+      register_matrix_cell<dovetail::kv64>(
+          cfg, "table3-64", "Tab 3 (right): 64-bit key + value", d, a, "64",
+          dovetail::key_of_kv64);
+    }
+  }
+  // Payload sweep: one instance per family plus a duplicate-heavy extreme,
+  // 32-byte rows. Compare against table3-32 to see bytes-moved scaling.
+  static const std::vector<dovetail::gen::distribution> payload_dists = {
+      {dovetail::gen::dist_kind::uniform, 1e9, "Unif-1e9"},
+      {dovetail::gen::dist_kind::uniform, 10, "Unif-10"},
+      {dovetail::gen::dist_kind::exponential, 10, "Exp-10"},
+      {dovetail::gen::dist_kind::zipfian, 1.0, "Zipf-1"},
+      {dovetail::gen::dist_kind::bexp, 30, "BExp-30"},
+  };
+  for (const auto& d : payload_dists)
+    for (dovetail::algo a : dovetail::all_algos())
+      register_matrix_cell<dovetail::kv32w>(
+          cfg, "payload-32B", "record-size extension of Tab 3 (32-byte rows)",
+          d, a, "32", dovetail::key_of_kv32w);
+}
+
+// --- Theory family: Sec 4 work bounds via sort_stats (one run, untimed
+// semantics — the metrics, not the clock, are the point). ---
+
+template <typename Rec, typename KeyFn>
+void register_theory_cell(const run_config& cfg,
+                          const dovetail::gen::distribution& d,
+                          const char* width_tag, KeyFn key) {
+  scenario s;
+  s.bench = "theory";
+  s.name = std::string("theory/") + width_tag + "bit/" + d.name;
+  s.paper = "Sec 4 work bounds (Thm 4.4-4.7): levels, heavy%, base%, depth";
+  s.row = d.name + std::string("/") + width_tag;
+  s.col = "DTSort";
+  s.labels = {{"dist", d.name}, {"algo", "DTSort"}, {"width", width_tag}};
+  const std::size_t n = cfg.n;
+  s.run = [d, n, key](const run_config& rc) {
+    const auto& input = cached_input<Rec>(d, n);
+    timed_sort_spec spec;
+    spec.reps_override = 1;
+    spec.warmups_override = 0;
+    return run_timed_sort(rc, input,
+                          algo_sort_fn<Rec>(dovetail::algo::dtsort, key),
+                          spec);
+  };
+  scenario_registry::instance().add(std::move(s));
+}
+
+inline void register_theory_scenarios(const run_config& cfg) {
+  for (const auto& d : dovetail::gen::paper_distributions()) {
+    register_theory_cell<dovetail::kv32>(cfg, d, "32", dovetail::key_of_kv32);
+    register_theory_cell<dovetail::kv64>(cfg, d, "64", dovetail::key_of_kv64);
+  }
+}
+
+}  // namespace dtb

@@ -21,8 +21,20 @@
 
 namespace dovetail {
 
-// `bucket_of(rec)` must return a value in [0, num_buckets).
-// `in` and `out` must not alias and must have equal size.
+// Distribute `in` into `out` grouped by bucket id, preserving input order
+// within each bucket (stable, unless distribute_options::strategy requests
+// the unstable scatter — see unstable_counting_sort.hpp for that variant).
+//
+// Requirements: Rec is trivially copyable; `bucket_of(rec)` is a pure
+// function returning a value in [0, num_buckets); `in` and `out` must not
+// alias and must have equal size.
+//
+// Complexity: O(n + L*B) work, O(B + n/L + log n) span (L = number of
+// blocks, B = num_buckets). Space: O(L*B) counting scratch leased from
+// opt.workspace — pass the same workspace to repeated calls and warm calls
+// allocate nothing (the offsets vector returned here is the one remaining
+// per-call allocation; hot paths use distribute() with leased offsets).
+//
 // Returns bucket offsets: offsets[k] is the first index of bucket k in
 // `out`; offsets[num_buckets] == in.size().
 template <typename Rec, typename BucketFn>

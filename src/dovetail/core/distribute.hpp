@@ -113,7 +113,8 @@ scatter_strategy resolve_scatter(scatter_strategy s, std::size_t n,
     // stores walk a working set wider than the TLB/cache reach, and enough
     // records per bucket to fill bursts. Above ~8k buckets the staging
     // buffers themselves outgrow L2 and the trick backfires (measured in
-    // bench_distribute: B=65536 buffered is ~1.3x slower than direct).
+    // bench_suite engine-distribute: B=65536 buffered ~1.3x slower than
+    // direct).
     if (std::is_trivially_copyable_v<Rec> && num_buckets >= 256 &&
         num_buckets <= 8192 && n >= 64 * num_buckets)
       return scatter_strategy::buffered;

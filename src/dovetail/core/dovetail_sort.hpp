@@ -266,10 +266,26 @@ class dt_sorter {
 
 }  // namespace detail
 
-// Sort `data` stably by `key(record)` (an unsigned integer) in
-// non-decreasing order. O(n sqrt(log r)) work; uses O(n) extra space.
-// Pass a sort_workspace via opt.workspace to reuse that space (and all
-// distribution scratch) across repeated sorts.
+// Sort `data` in place by `key(record)` in non-decreasing key order.
+//
+// Requirements: Rec is trivially copyable; `key` returns an unsigned
+// integer and is a pure function of the record (it is called multiple
+// times per record). `data` must not overlap the workspace's buffers.
+//
+// Guarantees:
+//   * Stable — records with equal keys keep their input order (unaffected
+//     by opt.scatter: the unstable strategy is ignored here).
+//   * O(n sqrt(log r)) work and ~O(2^sqrt(log r)) span (r = key range;
+//     Thm 4.5), O(n) work for exponential key-frequency or few-distinct-key
+//     inputs (Thm 4.6/4.7).
+//   * Deterministic for a fixed opt.seed (Appendix A).
+//
+// Space: O(n) extra (the ping-pong record buffer + per-level scratch), all
+// leased from a sort_workspace. Pass one via opt.workspace to reuse it
+// across repeated sorts — after the first (warm-up) sort, re-sorts of
+// equal-or-smaller inputs perform zero workspace allocations. A workspace
+// serves one in-flight sort at a time; concurrent sorts need distinct
+// workspaces (opt.workspace = nullptr gives each call a private one).
 template <typename Rec, typename KeyFn>
 void dovetail_sort(std::span<Rec> data, const KeyFn& key,
                    const sort_options& opt = {}) {

@@ -20,12 +20,23 @@
 
 namespace dovetail {
 
-// Reorders `data` so records with equal key(r) are adjacent. Stable within
-// each group (relative input order preserved). O(n sqrt(log n)) work.
-// Distribution runs through the unified engine (distribute.hpp), so
-// opt.workspace / opt.scatter apply here exactly as in dovetail_sort:
-// passing the same workspace to repeated semisorts reuses all O(n)
-// scratch after warm-up.
+// Reorders `data` in place so records with equal key(r) are adjacent; the
+// order *between* groups is arbitrary (it follows the hashed fingerprints)
+// but deterministic for a fixed opt.seed.
+//
+// Requirements: Rec is trivially copyable; `key` returns an unsigned
+// integer and is a pure function of the record.
+//
+// Guarantees: stable within each group (relative input order preserved);
+// O(n sqrt(log n)) work, O(n) for heavily duplicated inputs — the heavy-
+// key machinery gives big groups their own buckets, exactly as a dedicated
+// semisort would.
+//
+// Space: O(n) extra, leased from a sort_workspace. Distribution runs
+// through the unified engine (distribute.hpp), so opt.workspace /
+// opt.scatter apply exactly as in dovetail_sort: passing the same
+// workspace to repeated semisorts reuses all O(n) scratch after warm-up
+// (one in-flight call per workspace).
 template <typename Rec, typename KeyFn>
 void semisort(std::span<Rec> data, const KeyFn& key,
               const sort_options& opt = {}) {

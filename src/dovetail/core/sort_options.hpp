@@ -33,13 +33,20 @@ enum class scatter_strategy : std::uint8_t {
   unstable,
 };
 
+// Tuning knobs for dovetail_sort/semisort. All combinations preserve the
+// stability guarantee (equal keys keep input order) and the O(n sqrt(log r))
+// work bound, except where a knob's comment says otherwise (the ablation
+// flags exist to measure exactly those exceptions).
 struct sort_options {
   // Digit width γ in bits. 0 = auto: log2(cbrt(n)) clamped to [8, 12],
-  // the paper's theory-guided choice Θ(sqrt(log r)).
+  // the paper's theory-guided choice Θ(sqrt(log r)). Larger γ means fewer
+  // recursion levels ((log r)/γ of them) but 2^γ-sized counting scratch
+  // per subproblem; the bench_suite "params" family sweeps this.
   int gamma = 0;
 
   // Base-case threshold θ: subproblems at most this size are finished with
-  // a stable comparison sort (paper: 2^14).
+  // a stable comparison sort (paper: 2^14), bounding recursion overhead at
+  // O(n' log θ) work per base case.
   std::size_t base_case = std::size_t{1} << 14;
 
   // Heavy-key detection via sampling (Alg 2 step 1). Disabling this yields

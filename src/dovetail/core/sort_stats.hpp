@@ -11,7 +11,7 @@
 // With stats enabled, `distributed_records / n` measures the effective
 // number of levels each record participates in, `heavy_records` counts the
 // records that were parked in heavy buckets (skipping all further levels),
-// and so on. bench_theory_work prints these per distribution.
+// and so on. bench_suite's "theory" family reports these per distribution.
 //
 // Counters are updated at subproblem granularity (one atomic add per
 // counting-sort call, not per record), so overhead is negligible.
@@ -58,6 +58,39 @@ struct sort_stats {
   std::atomic<std::uint64_t> scatter_buffered_calls{0};
   std::atomic<std::uint64_t> scatter_unstable_calls{0};
 
+  // --- Timing / throughput (bench harness, dtsort_cli) ---
+  // Wall-clock totals for whole-sort runs attributed to this stats object.
+  // Unlike the work counters above, these are filled by the caller that
+  // owns the clock, via note_timed_run(): the sort itself never reads the
+  // time. `timed_records` counts input records across all timed runs, so
+  // throughput_mrec_per_s() is the harness's headline number.
+  std::atomic<std::uint64_t> timed_runs{0};
+  std::atomic<std::uint64_t> timed_ns{0};
+  std::atomic<std::uint64_t> timed_records{0};
+
+  void note_timed_run(double seconds, std::uint64_t records) {
+    timed_runs.fetch_add(1, std::memory_order_relaxed);
+    timed_ns.fetch_add(static_cast<std::uint64_t>(seconds * 1e9),
+                       std::memory_order_relaxed);
+    timed_records.fetch_add(records, std::memory_order_relaxed);
+  }
+
+  // Mean seconds per timed run; 0 when nothing was timed.
+  [[nodiscard]] double seconds_per_run() const {
+    const std::uint64_t runs = timed_runs.load(std::memory_order_relaxed);
+    if (runs == 0) return 0.0;
+    return static_cast<double>(timed_ns.load(std::memory_order_relaxed)) /
+           1e9 / static_cast<double>(runs);
+  }
+
+  // Millions of records sorted per second across all timed runs.
+  [[nodiscard]] double throughput_mrec_per_s() const {
+    const std::uint64_t ns = timed_ns.load(std::memory_order_relaxed);
+    if (ns == 0) return 0.0;
+    return static_cast<double>(timed_records.load(std::memory_order_relaxed)) *
+           1e3 / static_cast<double>(ns);
+  }
+
   void reset() {
     distributed_records = 0;
     heavy_records = 0;
@@ -74,6 +107,9 @@ struct sort_stats {
     scatter_direct_calls = 0;
     scatter_buffered_calls = 0;
     scatter_unstable_calls = 0;
+    timed_runs = 0;
+    timed_ns = 0;
+    timed_records = 0;
   }
 
   void note_depth(std::uint64_t d) {

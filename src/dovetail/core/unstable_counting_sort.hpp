@@ -6,8 +6,9 @@
 //
 // Appendix B explains why this is *less* practical than the stable blocked
 // version despite the better span: the scattered atomic writes are
-// I/O-unfriendly. bench_counting_sort and bench_distribute measure both so
-// the trade-off the paper describes is reproducible.
+// I/O-unfriendly. The bench_suite "engine-counting" and "engine-distribute"
+// families measure both, so the trade-off the paper describes is
+// reproducible.
 //
 // Implemented as the `unstable` scatter strategy of the unified
 // distribution engine (distribute.hpp), sharing its id precompute, blocked

@@ -26,7 +26,7 @@
 // Leased memory is uninitialized (reused slabs hold stale bytes); callers
 // zero what they read before writing. Counters (allocations / reuses /
 // bytes) feed the matching sort_stats fields so the reuse win is measurable
-// — see test_workspace.cpp and bench_distribute.cpp.
+// — see test_workspace.cpp and bench_suite's "engine-workspace" family.
 #pragma once
 
 #include <algorithm>

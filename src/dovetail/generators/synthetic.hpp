@@ -23,8 +23,11 @@
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
+#include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "dovetail/parallel/parallel_for.hpp"
@@ -70,6 +73,36 @@ inline std::vector<distribution> paper_distributions() {
 inline std::vector<distribution> standard_distributions() {
   auto all = paper_distributions();
   return {all.begin(), all.begin() + 15};
+}
+
+// Named-distribution lookup: parse a "Family-param" name — "Unif-1e7",
+// "Exp-5", "Zipf-1.2", "BExp-30" — into a distribution, so benchmarks and
+// CLI tools can take instances by the names the paper (and our tables) use.
+// Any parameter value is accepted, not just the 20 instances of Tab 3.
+// Returns nullopt when the family prefix or parameter does not parse.
+inline std::optional<distribution> find_distribution(std::string_view name) {
+  const std::size_t dash = name.find('-');
+  if (dash == std::string_view::npos || dash + 1 >= name.size())
+    return std::nullopt;
+  const std::string_view family = name.substr(0, dash);
+  dist_kind kind;
+  if (family == "Unif" || family == "unif") {
+    kind = dist_kind::uniform;
+  } else if (family == "Exp" || family == "exp") {
+    kind = dist_kind::exponential;
+  } else if (family == "Zipf" || family == "zipf") {
+    kind = dist_kind::zipfian;
+  } else if (family == "BExp" || family == "bexp") {
+    kind = dist_kind::bexp;
+  } else {
+    return std::nullopt;
+  }
+  const std::string param_str(name.substr(dash + 1));
+  char* end = nullptr;
+  const double param = std::strtod(param_str.c_str(), &end);
+  if (end == param_str.c_str() || *end != '\0' || !(param > 0))
+    return std::nullopt;
+  return distribution{kind, param, std::string(name)};
 }
 
 // ---------------------------------------------------------------------------

@@ -65,24 +65,62 @@ inline std::vector<algo> all_parallel_algos() {
           algo::rd,     algo::plss, algo::ips4o};
 }
 
+// Every registered sorter, including the sequential std::stable_sort
+// reference — the benchmark suite's sorter axis.
+inline std::vector<algo> all_algos() {
+  auto v = all_parallel_algos();
+  v.push_back(algo::std_stable);
+  return v;
+}
+
+// Shared execution context for run_sorter: a reusable scratch arena and a
+// stats sink, threaded into every implementation that supports them (the
+// samplesort variants and std::stable_sort manage their own memory and run
+// uninstrumented). Null members are allowed and mean "none".
+struct sorter_context {
+  sort_workspace* workspace = nullptr;
+  sort_stats* stats = nullptr;
+};
+
 template <typename Rec, typename KeyFn>
-void run_sorter(algo a, std::span<Rec> data, const KeyFn& key) {
+void run_sorter(algo a, std::span<Rec> data, const KeyFn& key,
+                const sorter_context& ctx) {
   switch (a) {
-    case algo::dtsort:
-      dovetail_sort(data, key);
+    case algo::dtsort: {
+      sort_options opt;
+      opt.workspace = ctx.workspace;
+      opt.stats = ctx.stats;
+      dovetail_sort(data, key, opt);
       return;
-    case algo::plis:
-      baseline::msd_radix_sort(data, key);
+    }
+    case algo::plis: {
+      baseline::radix_options opt;
+      opt.workspace = ctx.workspace;
+      opt.stats = ctx.stats;
+      baseline::msd_radix_sort(data, key, opt);
       return;
-    case algo::ips2ra:
-      baseline::inplace_radix_sort(data, key);
+    }
+    case algo::ips2ra: {
+      baseline::inplace_radix_options opt;
+      opt.workspace = ctx.workspace;
+      opt.stats = ctx.stats;
+      baseline::inplace_radix_sort(data, key, opt);
       return;
-    case algo::lsd:
-      baseline::lsd_radix_sort(data, key);
+    }
+    case algo::lsd: {
+      baseline::lsd_options opt;
+      opt.workspace = ctx.workspace;
+      opt.stats = ctx.stats;
+      baseline::lsd_radix_sort(data, key, opt);
       return;
-    case algo::rd:
-      baseline::buffered_lsd_radix_sort(data, key);
+    }
+    case algo::rd: {
+      baseline::buffered_lsd_options opt;
+      opt.workspace = ctx.workspace;
+      opt.stats = ctx.stats;
+      baseline::buffered_lsd_radix_sort(data, key, opt);
       return;
+    }
     case algo::plss: {
       baseline::sample_sort_by_key(data, key, {.stable = false});
       return;
@@ -99,6 +137,11 @@ void run_sorter(algo a, std::span<Rec> data, const KeyFn& key) {
       return;
   }
   throw std::invalid_argument("unknown algorithm");
+}
+
+template <typename Rec, typename KeyFn>
+void run_sorter(algo a, std::span<Rec> data, const KeyFn& key) {
+  run_sorter(a, data, key, sorter_context{});
 }
 
 }  // namespace dovetail

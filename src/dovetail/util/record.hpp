@@ -1,6 +1,7 @@
 // Record types used throughout tests, benchmarks and examples: the paper
 // evaluates on (32-bit key, 32-bit value) and (64-bit key, 64-bit value)
-// pairs (Tab 3).
+// pairs (Tab 3); kv32w adds a wide "database row" shape so the benchmark
+// suite can sweep payload size (record bytes moved per key compared).
 #pragma once
 
 #include <cstdint>
@@ -19,10 +20,22 @@ struct kv64 {
   friend bool operator==(const kv64&, const kv64&) = default;
 };
 
+// Wide record: 32-bit key, 32-bit value, 24 bytes of inert payload — a
+// 32-byte row. Same key/value layout contract as kv32 (generators fill
+// key + value; value = input index), 4x the bytes per scatter.
+struct kv32w {
+  std::uint32_t key;
+  std::uint32_t value;
+  std::uint32_t payload[6];
+  friend bool operator==(const kv32w&, const kv32w&) = default;
+};
+
 static_assert(sizeof(kv32) == 8);
 static_assert(sizeof(kv64) == 16);
+static_assert(sizeof(kv32w) == 32);
 
 inline constexpr auto key_of_kv32 = [](const kv32& r) { return r.key; };
 inline constexpr auto key_of_kv64 = [](const kv64& r) { return r.key; };
+inline constexpr auto key_of_kv32w = [](const kv32w& r) { return r.key; };
 
 }  // namespace dovetail

@@ -1,0 +1,52 @@
+// check_bench_json — CI gate for benchmark reports. Parses a JSON file
+// emitted by bench_suite (--json) and validates it against the
+// BENCH_suite.json schema (bench/bench_json.hpp): required context fields,
+// well-formed result entries with ordered min/median/max, unique names,
+// and no entry whose correctness check failed. Exit 0 = valid.
+//
+// Usage: check_bench_json FILE.json [FILE2.json ...]
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench/bench_json.hpp"
+
+namespace {
+
+int check_file(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", path);
+    return 1;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+
+  dtb::json::value root;
+  std::string err;
+  if (!dtb::json::parse(text, root, err)) {
+    std::fprintf(stderr, "%s: JSON parse error: %s\n", path, err.c_str());
+    return 1;
+  }
+  if (!dtb::json::validate_bench_schema(root, err)) {
+    std::fprintf(stderr, "%s: schema violation: %s\n", path, err.c_str());
+    return 1;
+  }
+  const std::size_t num_results = root.find("results")->as_array().size();
+  std::printf("%s: ok (%zu results)\n", path, num_results);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s FILE.json [FILE2.json ...]\n", argv[0]);
+    return 2;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) rc |= check_file(argv[i]);
+  return rc;
+}
