@@ -29,6 +29,7 @@
 #include "harness.hpp"
 #include "scenarios_ablation.hpp"
 #include "scenarios_apps.hpp"
+#include "scenarios_auto.hpp"
 #include "scenarios_engine.hpp"
 #include "scenarios_matrix.hpp"
 #include "scenarios_scaling.hpp"
@@ -171,6 +172,7 @@ int main(int argc, char** argv) {
   dtb::register_engine_scenarios(cfg);
   dtb::register_apps_scenarios(cfg);
   dtb::register_theory_scenarios(cfg);
+  dtb::register_auto_scenarios(cfg);
 
   std::vector<const dtb::scenario*> selected;
   for (const auto& s : registry.scenarios())
@@ -182,6 +184,17 @@ int main(int argc, char** argv) {
                   s->paper.c_str());
     std::printf("%zu of %zu scenarios selected\n", selected.size(),
                 registry.scenarios().size());
+    // The distribution catalog: the names --dist (and dtsort_cli) accept.
+    std::printf("\ndistribution families (instances are Family-param, any "
+                "positive param):\n");
+    for (const auto& f : dovetail::gen::distribution_families())
+      std::printf("  %-6s %-8s %s\n", std::string(f.prefix).c_str(),
+                  (std::string("<") + std::string(f.param) + ">").c_str(),
+                  std::string(f.description).c_str());
+    std::printf("paper instances (Tab 3):");
+    for (const auto& d : dovetail::gen::paper_distributions())
+      std::printf(" %s", d.name.c_str());
+    std::printf("\n");
     return 0;
   }
 
@@ -192,6 +205,17 @@ int main(int argc, char** argv) {
                  "no scenarios match the given filters (of %zu registered); "
                  "try --list\n",
                  registry.scenarios().size());
+    // A --dist typo is the common cause; if the filter does not even parse
+    // as a distribution name, say exactly why (satellite of the auto-sort
+    // PR: unknown names fail distinguishably, not silently).
+    if (!cfg.dist_filter.empty()) {
+      std::string err;
+      if (!dovetail::gen::find_distribution(cfg.dist_filter, &err)
+               .has_value())
+        std::fprintf(stderr, "note: --dist '%s' is also not a distribution "
+                             "name: %s\n",
+                     cfg.dist_filter.c_str(), err.c_str());
+    }
     return 2;
   }
 
@@ -240,9 +264,11 @@ int main(int argc, char** argv) {
         cfg,
         "Unified benchmark suite: sorter x distribution x width x payload "
         "matrix, paper figure/table reproductions (Fig 4a-f, Tab 3, Tab 4, "
-        "Appendix B), engine micro-benchmarks and Sec 4 work-bound "
-        "validation. Times are medians over the timed repetitions on a "
-        "warm workspace; every scenario is cross-checked (see 'check').",
+        "Appendix B), engine micro-benchmarks, Sec 4 work-bound "
+        "validation, and the adaptive front door (auto families: "
+        "dovetail::sort vs pinned kernels). Times are medians over the "
+        "timed repetitions on a warm workspace; every scenario is "
+        "cross-checked (see 'check').",
         runs);
     std::string err;
     dtb::json::value reparsed;

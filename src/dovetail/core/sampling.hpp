@@ -29,12 +29,15 @@ struct sample_result {
 
 // Samples `num_samples` keys of `data` (masked by `mask`) at deterministic
 // pseudo-random positions. `detect_heavy` toggles the heavy-key extraction
-// (the range estimate is always produced).
+// (the range estimate is always produced). If `keep_samples` is non-null it
+// receives the sorted sample vector, so callers that need more statistics
+// from the same draw (input_sketch.hpp) do not sample twice.
 template <typename Rec, typename KeyFn>
 sample_result sample_keys(std::span<const Rec> data, const KeyFn& key,
                           std::uint64_t mask, std::size_t num_samples,
                           std::size_t subsample_stride, bool detect_heavy,
-                          std::uint64_t seed) {
+                          std::uint64_t seed,
+                          std::vector<std::uint64_t>* keep_samples = nullptr) {
   sample_result res;
   const std::size_t n = data.size();
   if (n == 0 || num_samples == 0) return res;
@@ -49,7 +52,10 @@ sample_result sample_keys(std::span<const Rec> data, const KeyFn& key,
   std::sort(s.begin(), s.end());
   res.max_sample = s.back();
 
-  if (!detect_heavy) return res;
+  if (!detect_heavy) {
+    if (keep_samples != nullptr) *keep_samples = std::move(s);
+    return res;
+  }
   if (subsample_stride == 0) subsample_stride = 1;
   // Subsample s[0], s[stride], s[2*stride], ...; a key with two or more
   // subsamples is heavy.
@@ -64,6 +70,7 @@ sample_result sample_keys(std::span<const Rec> data, const KeyFn& key,
     prev = k;
     have_prev = true;
   }
+  if (keep_samples != nullptr) *keep_samples = std::move(s);
   return res;
 }
 

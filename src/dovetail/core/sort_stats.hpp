@@ -58,6 +58,24 @@ struct sort_stats {
   std::atomic<std::uint64_t> scatter_buffered_calls{0};
   std::atomic<std::uint64_t> scatter_unstable_calls{0};
 
+  // --- Adaptive front door (auto_sort.hpp / input_sketch.hpp) ---
+  // Unlike the cumulative counters above these are last-write-wins
+  // snapshots: each dovetail::sort() call overwrites them, so after a run
+  // they describe the most recent dispatch through this stats object.
+  // `chosen_kernel` holds 1 + static_cast<int>(sort_kernel) (0 = no
+  // dispatch recorded yet); decode with chosen_kernel_of() in auto_sort.hpp.
+  std::atomic<std::uint64_t> chosen_kernel{0};
+  // Sketch summary behind the decision (permille = 0..1000 of the sampled
+  // keys / probed pairs; see input_sketch.hpp for the exact definitions).
+  std::atomic<std::uint64_t> sketch_key_bits{0};
+  std::atomic<std::uint64_t> sketch_distinct_permille{0};
+  std::atomic<std::uint64_t> sketch_top_permille{0};
+  std::atomic<std::uint64_t> sketch_desc_permille{0};
+  std::atomic<std::uint64_t> sketch_heavy_keys{0};
+  // Exact run count measured by the run-merge confirmation scan (0 when
+  // that branch was never entered).
+  std::atomic<std::uint64_t> sketch_runs{0};
+
   // --- Timing / throughput (bench harness, dtsort_cli) ---
   // Wall-clock totals for whole-sort runs attributed to this stats object.
   // Unlike the work counters above, these are filled by the caller that
@@ -107,6 +125,13 @@ struct sort_stats {
     scatter_direct_calls = 0;
     scatter_buffered_calls = 0;
     scatter_unstable_calls = 0;
+    chosen_kernel = 0;
+    sketch_key_bits = 0;
+    sketch_distinct_permille = 0;
+    sketch_top_permille = 0;
+    sketch_desc_permille = 0;
+    sketch_heavy_keys = 0;
+    sketch_runs = 0;
     timed_runs = 0;
     timed_ns = 0;
     timed_records = 0;

@@ -20,6 +20,8 @@
 // experiments depend on.
 #pragma once
 
+#include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
@@ -28,6 +30,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "dovetail/parallel/parallel_for.hpp"
@@ -75,34 +78,81 @@ inline std::vector<distribution> standard_distributions() {
   return {all.begin(), all.begin() + 15};
 }
 
+// One-line family descriptions, shared by error messages and catalogs
+// (bench_suite --list, dtsort_cli).
+struct family_info {
+  dist_kind kind;
+  std::string_view prefix;     // the canonical "Family-param" prefix
+  std::string_view param;      // what the parameter means
+  std::string_view description;
+};
+
+inline std::span<const family_info> distribution_families() {
+  static const family_info families[] = {
+      {dist_kind::uniform, "Unif", "mu",
+       "uniform over mu distinct keys, hashed over the full key range"},
+      {dist_kind::exponential, "Exp", "lambda",
+       "exponential key frequencies with rate 1e-5*lambda (larger = "
+       "heavier duplicates)"},
+      {dist_kind::zipfian, "Zipf", "s",
+       "Zipfian with exponent s (larger = heavier duplicates)"},
+      {dist_kind::bexp, "BExp", "t",
+       "bit-exponential: each key bit is 0 with probability 1/t "
+       "(adversarially uneven MSD zones)"},
+  };
+  return families;
+}
+
 // Named-distribution lookup: parse a "Family-param" name — "Unif-1e7",
 // "Exp-5", "Zipf-1.2", "BExp-30" — into a distribution, so benchmarks and
 // CLI tools can take instances by the names the paper (and our tables) use.
 // Any parameter value is accepted, not just the 20 instances of Tab 3.
-// Returns nullopt when the family prefix or parameter does not parse.
-inline std::optional<distribution> find_distribution(std::string_view name) {
+//
+// Returns nullopt when the name does not parse; if `error` is non-null it
+// then receives a message naming the exact failure (missing dash, unknown
+// family, bad parameter) — callers surface it so a --dist typo fails loudly
+// instead of silently matching nothing.
+inline std::optional<distribution> find_distribution(
+    std::string_view name, std::string* error = nullptr) {
+  const auto fail = [&](std::string why) -> std::optional<distribution> {
+    if (error != nullptr) *error = std::move(why);
+    return std::nullopt;
+  };
   const std::size_t dash = name.find('-');
   if (dash == std::string_view::npos || dash + 1 >= name.size())
-    return std::nullopt;
+    return fail("'" + std::string(name) +
+                "' is not of the form Family-param (e.g. Unif-1e7, Exp-5, "
+                "Zipf-1.2, BExp-30)");
   const std::string_view family = name.substr(0, dash);
-  dist_kind kind;
-  if (family == "Unif" || family == "unif") {
-    kind = dist_kind::uniform;
-  } else if (family == "Exp" || family == "exp") {
-    kind = dist_kind::exponential;
-  } else if (family == "Zipf" || family == "zipf") {
-    kind = dist_kind::zipfian;
-  } else if (family == "BExp" || family == "bexp") {
-    kind = dist_kind::bexp;
-  } else {
-    return std::nullopt;
+  const family_info* match = nullptr;
+  for (const family_info& f : distribution_families()) {
+    // Case-insensitive prefix match ("unif" and "Unif" both work).
+    if (family.size() == f.prefix.size() &&
+        std::equal(family.begin(), family.end(), f.prefix.begin(),
+                   [](char a, char b) {
+                     return std::tolower(static_cast<unsigned char>(a)) ==
+                            std::tolower(static_cast<unsigned char>(b));
+                   })) {
+      match = &f;
+      break;
+    }
+  }
+  if (match == nullptr) {
+    std::string known;
+    for (const family_info& f : distribution_families())
+      known += (known.empty() ? "" : ", ") + std::string(f.prefix);
+    return fail("unknown distribution family '" + std::string(family) +
+                "' (known: " + known + ")");
   }
   const std::string param_str(name.substr(dash + 1));
   char* end = nullptr;
   const double param = std::strtod(param_str.c_str(), &end);
   if (end == param_str.c_str() || *end != '\0' || !(param > 0))
-    return std::nullopt;
-  return distribution{kind, param, std::string(name)};
+    return fail("bad parameter '" + param_str + "' for family '" +
+                std::string(match->prefix) +
+                "' (need a positive number, e.g. " +
+                std::string(match->prefix) + "-10)");
+  return distribution{match->kind, param, std::string(name)};
 }
 
 // ---------------------------------------------------------------------------

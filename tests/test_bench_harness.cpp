@@ -180,6 +180,23 @@ TEST(BenchHarness, NamedDistributionLookup) {
   EXPECT_FALSE(gen::find_distribution("Unif-abc").has_value());
   EXPECT_FALSE(gen::find_distribution("nodash").has_value());
 
+  // Failures are distinguishable: the error names the exact problem, so a
+  // bench_suite --dist typo fails loudly instead of matching nothing.
+  std::string err;
+  EXPECT_FALSE(gen::find_distribution("Gauss-3", &err).has_value());
+  EXPECT_NE(err.find("unknown distribution family 'Gauss'"),
+            std::string::npos)
+      << err;
+  err.clear();
+  EXPECT_FALSE(gen::find_distribution("Unif-abc", &err).has_value());
+  EXPECT_NE(err.find("bad parameter 'abc'"), std::string::npos) << err;
+  err.clear();
+  EXPECT_FALSE(gen::find_distribution("nodash", &err).has_value());
+  EXPECT_NE(err.find("Family-param"), std::string::npos) << err;
+  err.clear();
+  EXPECT_TRUE(gen::find_distribution("zipf-1.2", &err).has_value());
+  EXPECT_TRUE(err.empty());
+
   // Every paper instance's name round-trips through the lookup.
   for (const auto& d : gen::paper_distributions()) {
     const auto parsed = gen::find_distribution(d.name);

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""CI gate for the repo's documentation (docs job in ci.yml).
+
+Verifies, over every Markdown file at the repo root and under docs/:
+
+  * intra-repo markdown links `[text](path)` resolve — the target file or
+    directory exists (external http(s)/mailto links and pure #anchors are
+    skipped; a #fragment on a local target is stripped before checking);
+  * `file:line`-style code references in backticks (e.g.
+    `src/dovetail/core/auto_sort.hpp:42`) resolve — the file exists,
+    relative to the repo root, and has at least that many lines;
+  * bare backticked file references to source/doc files (e.g.
+    `bench/harness.hpp`) resolve.
+
+Exit status 0 iff every reference resolves; otherwise each failure is
+printed as file:line: message and the exit status is 1.
+
+Usage: python3 tools/check_docs_links.py [repo_root]
+"""
+import re
+import sys
+from pathlib import Path
+
+# [text](target) — non-greedy target up to the first closing paren.
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# `path/to/file.ext:123` inside backticks.
+CODE_LINE_REF = re.compile(
+    r"`([A-Za-z0-9_./-]+\.(?:hpp|cpp|h|c|py|md|json|yml|yaml|txt)):(\d+)`")
+# `path/to/file.ext` inside backticks (no :line). Only multi-component
+# paths: a bare `file.hpp` is prose shorthand, not a checkable reference.
+CODE_FILE_REF = re.compile(
+    r"`([A-Za-z0-9_-]+(?:/[A-Za-z0-9_.-]+)+\."
+    r"(?:hpp|cpp|h|c|py|md|json|yml|yaml))`")
+
+EXTERNAL = ("http://", "https://", "mailto:")
+
+# Append-only history and driver artifacts: their references describe past
+# states of the tree and are allowed to rot.
+SKIP = {"CHANGES.md", "ISSUE.md"}
+
+
+def doc_files(root: Path):
+    yield from (p for p in sorted(root.glob("*.md")) if p.name not in SKIP)
+    docs = root / "docs"
+    if docs.is_dir():
+        yield from sorted(docs.rglob("*.md"))
+
+
+def resolve_code_path(root: Path, path: str):
+    """Resolve a code reference: repo-relative, or the established
+    `core/...` / `baselines/...` shorthand for src/dovetail/...; None if
+    neither exists."""
+    for base in (root, root / "src" / "dovetail"):
+        candidate = (base / path).resolve()
+        if candidate.exists():
+            return candidate
+    return None
+
+
+def check_file(root: Path, md: Path):
+    failures = []
+    text = md.read_text(encoding="utf-8")
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        # Fenced code blocks hold illustrative examples, not references;
+        # checking them would fail CI on hypothetical paths in snippets.
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in MD_LINK.finditer(line):
+            target = m.group(1)
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                failures.append(
+                    (md, lineno, f"broken link '{target}' "
+                                 f"(resolved to {resolved})"))
+        for m in CODE_LINE_REF.finditer(line):
+            path, ref_line = m.group(1), int(m.group(2))
+            resolved = resolve_code_path(root, path)
+            if resolved is None or not resolved.is_file():
+                failures.append(
+                    (md, lineno, f"code reference '{path}:{ref_line}': "
+                                 f"file does not exist"))
+                continue
+            n_lines = len(resolved.read_text(
+                encoding="utf-8", errors="replace").splitlines())
+            if ref_line < 1 or ref_line > n_lines:
+                failures.append(
+                    (md, lineno,
+                     f"code reference '{path}:{ref_line}': file has only "
+                     f"{n_lines} lines"))
+        # Strip :line refs first so the bare-file pattern does not re-match.
+        bare = CODE_LINE_REF.sub("", line)
+        for m in CODE_FILE_REF.finditer(bare):
+            path = m.group(1)
+            if resolve_code_path(root, path) is None:
+                failures.append(
+                    (md, lineno, f"file reference '{path}' does not exist"))
+    return failures
+
+
+def main() -> int:
+    root = Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    failures = []
+    checked = 0
+    for md in doc_files(root):
+        checked += 1
+        failures.extend(check_file(root, md))
+    for md, lineno, msg in failures:
+        print(f"{md.relative_to(root)}:{lineno}: {msg}")
+    print(f"check_docs_links: {checked} files checked, "
+          f"{len(failures)} broken reference(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -69,16 +69,16 @@ args_map parse_args(int argc, char** argv) {
 }
 
 bool parse_dist(const std::string& s, gen::distribution& out) {
-  const auto dash = s.find('-');
-  if (dash == std::string::npos) return false;
-  const std::string kind = s.substr(0, dash);
-  const double param = std::strtod(s.c_str() + dash + 1, nullptr);
-  if (kind == "unif") out = {gen::dist_kind::uniform, param, s};
-  else if (kind == "exp") out = {gen::dist_kind::exponential, param, s};
-  else if (kind == "zipf") out = {gen::dist_kind::zipfian, param, s};
-  else if (kind == "bexp") out = {gen::dist_kind::bexp, param, s};
-  else return false;
-  return param > 0;
+  // The shared name lookup (case-insensitive families, per-failure error
+  // messages — the same catalog bench_suite --list prints).
+  std::string err;
+  const auto d = gen::find_distribution(s, &err);
+  if (!d.has_value()) {
+    std::fprintf(stderr, "bad --dist: %s\n", err.c_str());
+    return false;
+  }
+  out = *d;
+  return true;
 }
 
 bool parse_algo(const std::string& s, algo& out) {
