@@ -20,6 +20,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "dovetail/generators/synthetic.hpp"
@@ -48,20 +49,27 @@ inline int bench_reps() {
 
 // ---------------------------------------------------------------------------
 // Input cache: one pristine copy per (record type, instance name, n).
+// `memoize_input` is the shared machinery — each call site (distinguished
+// by its make-functor type) gets its own name-keyed cache, so scenario
+// registrations can share one generated input per instance.
+
+template <typename MakeFn>
+const std::invoke_result_t<MakeFn>& memoize_input(const std::string& key,
+                                                  const MakeFn& make) {
+  using Vec = std::invoke_result_t<MakeFn>;
+  static std::map<std::string, std::unique_ptr<Vec>> cache;
+  auto it = cache.find(key);
+  if (it == cache.end())
+    it = cache.emplace(key, std::make_unique<Vec>(make())).first;
+  return *it->second;
+}
 
 template <typename Rec>
 const std::vector<Rec>& cached_input(const dovetail::gen::distribution& d,
                                      std::size_t n, std::uint64_t seed = 1) {
-  static std::map<std::string, std::unique_ptr<std::vector<Rec>>> cache;
-  const std::string key =
-      d.name + "/" + std::to_string(n) + "/" + std::to_string(seed);
-  auto it = cache.find(key);
-  if (it == cache.end()) {
-    auto v = std::make_unique<std::vector<Rec>>(
-        dovetail::gen::generate_records<Rec>(d, n, seed));
-    it = cache.emplace(key, std::move(v)).first;
-  }
-  return *it->second;
+  return memoize_input(
+      d.name + "/" + std::to_string(n) + "/" + std::to_string(seed),
+      [&] { return dovetail::gen::generate_records<Rec>(d, n, seed); });
 }
 
 // ---------------------------------------------------------------------------

@@ -30,6 +30,7 @@
 #include "scenarios_ablation.hpp"
 #include "scenarios_apps.hpp"
 #include "scenarios_auto.hpp"
+#include "scenarios_codec.hpp"
 #include "scenarios_engine.hpp"
 #include "scenarios_matrix.hpp"
 #include "scenarios_scaling.hpp"
@@ -173,6 +174,7 @@ int main(int argc, char** argv) {
   dtb::register_apps_scenarios(cfg);
   dtb::register_theory_scenarios(cfg);
   dtb::register_auto_scenarios(cfg);
+  dtb::register_codec_scenarios(cfg);
 
   std::vector<const dtb::scenario*> selected;
   for (const auto& s : registry.scenarios())
@@ -265,8 +267,11 @@ int main(int argc, char** argv) {
         "Unified benchmark suite: sorter x distribution x width x payload "
         "matrix, paper figure/table reproductions (Fig 4a-f, Tab 3, Tab 4, "
         "Appendix B), engine micro-benchmarks, Sec 4 work-bound "
-        "validation, and the adaptive front door (auto families: "
-        "dovetail::sort vs pinned kernels). Times are medians over the "
+        "validation, the adaptive front door (auto families: "
+        "dovetail::sort vs pinned kernels), and the typed-key/SoA codec "
+        "families (codec-32/64: signed/float/pair keys vs std::stable_sort; "
+        "codec-soa: sort_by_key + rank vs the AoS wide-record sort). Times "
+        "are medians over the "
         "timed repetitions on a warm workspace; every scenario is "
         "cross-checked (see 'check').",
         runs);

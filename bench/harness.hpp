@@ -183,6 +183,36 @@ void run_timed_reps(int reps, scenario_result& res, RunFn&& one_run,
   }
 }
 
+// Paired A-vs-baseline timing: `reps` interleaved rounds, alternating
+// which variant runs first each round — a fixed cycle order pins the
+// cache/heap-predecessor effect (e.g. std::stable_sort's allocation churn
+// vs a workspace-resident radix pass) on one variant, the measured 5-15%
+// systematic bias documented in scenarios_auto.hpp. Primary times land in
+// res.times_s (+ note_timed_run when stats is non-null); the baseline's
+// times are returned.
+template <typename RunA, typename RunB>
+std::vector<double> run_interleaved_reps(int reps, scenario_result& res,
+                                         RunA&& run_primary,
+                                         RunB&& run_baseline,
+                                         dovetail::sort_stats* stats) {
+  std::vector<double> baseline_times;
+  const auto primary = [&] {
+    const double s = run_primary();
+    res.times_s.push_back(s);
+    if (stats != nullptr) stats->note_timed_run(s, res.n);
+  };
+  for (int r = 0; r < reps; ++r) {
+    if (r % 2 == 0) {
+      primary();
+      baseline_times.push_back(run_baseline());
+    } else {
+      baseline_times.push_back(run_baseline());
+      primary();
+    }
+  }
+  return baseline_times;
+}
+
 // ---------------------------------------------------------------------------
 // Shared warm workspace: the suite measures warm-path speed (the ROADMAP's
 // zero-hot-path-allocation property), so all sorter scenarios lease their

@@ -11,11 +11,7 @@
 #include <span>
 #include <vector>
 
-#include "dovetail/baselines/msd_radix_sort.hpp"
-#include "dovetail/core/dovetail_sort.hpp"
-#include "dovetail/generators/synthetic.hpp"
-#include "dovetail/parallel/scheduler.hpp"
-#include "dovetail/util/timer.hpp"
+#include "dovetail/dovetail.hpp"
 
 namespace gen = dovetail::gen;
 

@@ -6,12 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "dovetail/apps/graph.hpp"
-#include "dovetail/baselines/msd_radix_sort.hpp"
-#include "dovetail/core/dovetail_sort.hpp"
-#include "dovetail/generators/graphs.hpp"
-#include "dovetail/parallel/scheduler.hpp"
-#include "dovetail/util/timer.hpp"
+#include "dovetail/dovetail.hpp"
 
 namespace app = dovetail::app;
 namespace gen = dovetail::gen;

@@ -8,11 +8,7 @@
 #include <cstdlib>
 #include <span>
 
-#include "dovetail/apps/morton.hpp"
-#include "dovetail/core/dovetail_sort.hpp"
-#include "dovetail/generators/points.hpp"
-#include "dovetail/parallel/scheduler.hpp"
-#include "dovetail/util/timer.hpp"
+#include "dovetail/dovetail.hpp"
 
 namespace app = dovetail::app;
 namespace gen = dovetail::gen;

@@ -1,4 +1,6 @@
-// dovetail::sort — the adaptive front door of the library.
+// dovetail::sort / sort_by_key / rank — the adaptive front door of the
+// library, generalized over typed keys by the key-codec layer
+// (key_codec.hpp).
 //
 // The paper's headline result (Tab 3 / Fig 1) is that no single integer
 // sort wins everywhere: DTSort dominates on skewed and heavy-duplicate
@@ -34,6 +36,27 @@
 // them on your machine. policy::always(kernel) pins a kernel (parameter
 // tuning still applies) — that is what the "auto" benchmarks use to compare
 // the dispatcher against every hand-picked kernel.
+//
+// Typed keys (key_codec.hpp): every entry point accepts any codec-covered
+// key type — signed integers, float/double, pair/tuple composites, or a
+// user key_codec specialization — not just unsigned integers. Strategy:
+//   * cheap codecs (all built-ins) on trivially copyable records FUSE the
+//     encode into the key function, so every kernel, the sketch and the
+//     dispatch operate on encoded keys with no extra pass and no extra
+//     memory — records are scattered as-is and never decoded;
+//   * expensive codecs, and records that are not trivially copyable (e.g.
+//     a std::span<std::pair<...>> under libstdc++), ENCODE ONCE into a
+//     workspace-leased (encoded key, index) array, sort that through the
+//     same dispatcher, and apply the resulting stable permutation back to
+//     the records with one gather pass.
+// The encode-once machinery is also what powers the SoA entry points:
+//   * sort_by_key(keys, values) sorts parallel key/value arrays without
+//     ever dragging the value bytes through a radix pass (4-byte keys stop
+//     hauling 32-byte rows through every scatter);
+//   * rank(data, key) returns the stable sorted permutation (argsort)
+//     without moving — or even being able to write — the records.
+// Which entry point ran and which codec it used land in sort_stats
+// (entry_point / codec_kind_id / codec_encoded_bits snapshots).
 #pragma once
 
 #include <algorithm>
@@ -50,6 +73,7 @@
 #include "dovetail/core/distribute.hpp"
 #include "dovetail/core/dovetail_sort.hpp"
 #include "dovetail/core/input_sketch.hpp"
+#include "dovetail/core/key_codec.hpp"
 #include "dovetail/core/sort_options.hpp"
 #include "dovetail/core/sort_stats.hpp"
 #include "dovetail/core/workspace.hpp"
@@ -86,6 +110,42 @@ inline std::optional<sort_kernel> chosen_kernel_of(const sort_stats& st) {
   if (v == 0 || v > static_cast<std::uint64_t>(kNumSortKernels))
     return std::nullopt;
   return static_cast<sort_kernel>(v - 1);
+}
+
+// Stable argsort / permutation index type returned by dovetail::rank.
+using index_t = std::size_t;
+
+// Which public front-door entry point ran last — recorded as
+// 1 + static_cast<int>(sort_entry) in sort_stats::entry_point, next to the
+// codec snapshots (codec_kind_id = 1 + codec_kind, codec_encoded_bits).
+enum class sort_entry : std::uint8_t { sort, sort_by_key, rank };
+
+inline constexpr int kNumSortEntries = 3;
+inline constexpr int kNumCodecKinds =
+    1 + static_cast<int>(codec_kind::custom);
+
+inline const char* entry_name(sort_entry e) {
+  switch (e) {
+    case sort_entry::sort: return "sort";
+    case sort_entry::sort_by_key: return "sort_by_key";
+    case sort_entry::rank: return "rank";
+  }
+  return "?";
+}
+
+// Decode sort_stats::entry_point / codec_kind_id (0 = nothing recorded).
+inline std::optional<sort_entry> entry_point_of(const sort_stats& st) {
+  const std::uint64_t v = st.entry_point.load(std::memory_order_relaxed);
+  if (v == 0 || v > static_cast<std::uint64_t>(kNumSortEntries))
+    return std::nullopt;
+  return static_cast<sort_entry>(v - 1);
+}
+
+inline std::optional<codec_kind> codec_kind_of(const sort_stats& st) {
+  const std::uint64_t v = st.codec_kind_id.load(std::memory_order_relaxed);
+  if (v == 0 || v > static_cast<std::uint64_t>(kNumCodecKinds))
+    return std::nullopt;
+  return static_cast<codec_kind>(v - 1);
 }
 
 // A dispatch decision: the kernel plus its sketch-tuned parameters.
@@ -377,35 +437,12 @@ std::pair<std::uint64_t, std::uint64_t> exact_key_range(
       });
 }
 
-}  // namespace detail
-
-// Sort `data` in place by `key(record)` in non-decreasing key order,
-// choosing the kernel adaptively (or as pinned by opt.policy). Returns the
-// kernel that ran; the same value and the sketch behind the decision are
-// recorded in opt.stats (chosen_kernel / sketch_* fields) when provided.
-//
-// Requirements match dovetail_sort: Rec trivially copyable, `key` a pure
-// function returning an unsigned integer.
-//
-// Guarantees:
-//   * Stable, whatever kernel runs (every kernel is stable; the dispatcher
-//     never selects the unstable scatter).
-//   * Deterministic for fixed seeds (opt.seed, opt.sketch.seed): the sketch,
-//     the dispatch and every kernel are deterministic.
-//   * Within a few percent of the best hand-picked kernel across the
-//     BENCH_suite.json scenario matrix — measured, not promised: the
-//     bench_suite "auto" family re-checks it on every run (see
-//     docs/TUNING.md and the committed BENCH_auto.json).
-//
-// Space: O(n) extra from the workspace (the record ping-pong buffer plus
-// per-pass scratch), except std_sort (std::stable_sort's own allocation)
-// and a confirmed-sorted input (no scratch touched at all).
-//
-// Throws std::invalid_argument if opt.policy forces the counting kernel on
-// an input whose exact key range reaches 2^20 (see policy::always).
+// The dispatch core: sketch, route, run. `key` must return an unsigned
+// integer here — the public entry points below fold any other key type
+// through its key_codec before reaching this.
 template <typename Rec, typename KeyFn>
-sort_kernel sort(std::span<Rec> data, const KeyFn& key,
-                 const auto_sort_options& opt = {}) {
+sort_kernel sort_unsigned(std::span<Rec> data, const KeyFn& key,
+                          const auto_sort_options& opt) {
   static_assert(std::is_trivially_copyable_v<Rec>,
                 "dovetail::sort requires trivially copyable records");
   sort_stats* st = opt.stats;
@@ -538,11 +575,283 @@ sort_kernel sort(std::span<Rec> data, const KeyFn& key,
   }
 }
 
-// Convenience overload for plain unsigned keys.
+// --- typed-key machinery (the encode-once path) ---------------------------
+
+// Snapshot the entry-point/codec stats fields (last write wins, matching
+// chosen_kernel's contract).
+inline void note_entry(sort_stats* st, sort_entry entry, codec_kind kind,
+                       int encoded_bits) {
+  if (st == nullptr) return;
+  st->entry_point.store(1 + static_cast<std::uint64_t>(entry),
+                        std::memory_order_relaxed);
+  st->codec_kind_id.store(1 + static_cast<std::uint64_t>(kind),
+                          std::memory_order_relaxed);
+  st->codec_encoded_bits.store(static_cast<std::uint64_t>(encoded_bits),
+                               std::memory_order_relaxed);
+}
+
+// (encoded key, source index) pair records for the encode-once path. The
+// narrow pair is used whenever the encoded key and the index both fit 32
+// bits — half the bytes per scatter pass.
+struct enc_idx32 {
+  std::uint32_t key;
+  std::uint32_t value;
+};
+struct enc_idx64 {
+  std::uint64_t key;
+  std::uint64_t value;
+};
+
+template <typename PairRec, typename EncOf, typename Emit>
+sort_kernel ranked_permutation_impl(std::size_t n, const EncOf& enc_of,
+                                    const auto_sort_options& opt,
+                                    sort_workspace& ws, const Emit& emit) {
+  sort_workspace::lease pl = ws.acquire(n * sizeof(PairRec), opt.stats);
+  const std::span<PairRec> pairs = pl.template carve<PairRec>(n);
+  par::parallel_for(0, n, [&](std::size_t i) {
+    pairs[i] = PairRec{static_cast<decltype(PairRec::key)>(enc_of(i)),
+                       static_cast<decltype(PairRec::value)>(i)};
+  });
+  // A stable sort of (encoded key, input index) pairs IS the stable
+  // permutation: equal keys keep increasing indices.
+  const sort_kernel k =
+      sort_unsigned(pairs, [](const PairRec& p) { return p.key; }, opt);
+  par::parallel_for(0, n, [&](std::size_t i) {
+    emit(i, static_cast<std::size_t>(pairs[i].value));
+  });
+  return k;
+}
+
+// Stable sorted permutation of [0, n) under the (already unsigned) encoded
+// keys enc_of(i): emit(pos, src) is called once per position (in parallel,
+// unordered) with the source index ranking there. Runs the full adaptive dispatcher
+// on the pair records, so presorted / tiny-range / tiny-n inputs keep
+// their cheap kernels; all scratch is leased from `ws`.
+template <typename EncOf, typename Emit>
+sort_kernel ranked_permutation(std::size_t n, int encoded_bits,
+                               const EncOf& enc_of,
+                               const auto_sort_options& opt,
+                               sort_workspace& ws, const Emit& emit) {
+  auto_sort_options inner = opt;
+  inner.workspace = &ws;
+  if (encoded_bits <= 32 && n <= 0xFFFFFFFFull)
+    return ranked_permutation_impl<enc_idx32>(n, enc_of, inner, ws, emit);
+  return ranked_permutation_impl<enc_idx64>(n, enc_of, inner, ws, emit);
+}
+
+// n elements of T, backed by a workspace lease when T is trivially
+// copyable (warm calls: zero allocations) and by a plain vector otherwise
+// (T must then be default-constructible and copy-assignable).
+template <typename T>
+class scratch_array {
+ public:
+  scratch_array(std::size_t n, sort_workspace& ws, sort_stats* stats) {
+    if constexpr (std::is_trivially_copyable_v<T> &&
+                  alignof(T) <= detail::kSlabAlign) {
+      lease_ = ws.acquire(n * sizeof(T), stats);
+      span_ = lease_.template carve<T>(n);
+    } else {
+      vec_.resize(n);
+      span_ = std::span<T>(vec_);
+    }
+  }
+  [[nodiscard]] std::span<T> get() noexcept { return span_; }
+
+ private:
+  sort_workspace::lease lease_;
+  std::vector<T> vec_;
+  std::span<T> span_;
+};
+
+// Copy (or move, for non-trivially-copyable types) scratch back into the
+// caller's array.
+template <typename T>
+void write_back(std::span<T> from, std::span<T> to) {
+  if constexpr (std::is_trivially_copyable_v<T>) {
+    par::copy(std::span<const T>(from.data(), from.size()), to);
+  } else {
+    par::parallel_for(0, from.size(),
+                      [&](std::size_t i) { to[i] = std::move(from[i]); });
+  }
+}
+
+}  // namespace detail
+
+// Sort `data` in place by `key(record)` in non-decreasing key order,
+// choosing the kernel adaptively (or as pinned by opt.policy). Returns the
+// kernel that ran; the same value, the sketch behind the decision, and the
+// entry-point/codec snapshot are recorded in opt.stats when provided.
+//
+// `key` may return ANY codec-covered type (key_codec.hpp): unsigned — the
+// native path — or signed integers, float/double (IEEE total order; see
+// the NaN policy in key_codec.hpp), pair/tuple composites up to 64 encoded
+// bits, or a user key_codec specialization. Cheap codecs on trivially
+// copyable records fuse the encoding into every key access (no extra pass,
+// no extra memory); expensive codecs and non-trivially-copyable records
+// (e.g. std::pair elements under libstdc++) take the encode-once path:
+// sort (encoded key, index) pairs, then gather the records once.
+//
+// Guarantees:
+//   * Stable, whatever kernel runs (every kernel is stable; the dispatcher
+//     never selects the unstable scatter).
+//   * Deterministic for fixed seeds (opt.seed, opt.sketch.seed): the sketch,
+//     the dispatch and every kernel are deterministic.
+//   * Within a few percent of the best hand-picked kernel across the
+//     BENCH_suite.json scenario matrix — measured, not promised: the
+//     bench_suite "auto" family re-checks it on every run (see
+//     docs/TUNING.md and the committed BENCH_auto.json).
+//
+// Space: O(n) extra from the workspace (the record ping-pong buffer plus
+// per-pass scratch; the encode-once path adds the pair array and one
+// gather buffer), except std_sort (std::stable_sort's own allocation) and
+// a confirmed-sorted input on the fused path (no scratch touched at all).
+//
+// Throws std::invalid_argument if opt.policy forces the counting kernel on
+// an input whose exact key range reaches 2^20 (see policy::always).
+template <typename Rec, typename KeyFn>
+sort_kernel sort(std::span<Rec> data, const KeyFn& key,
+                 const auto_sort_options& opt = {}) {
+  using K =
+      std::remove_cvref_t<std::invoke_result_t<const KeyFn&, const Rec&>>;
+  static_assert(
+      sortable_key<K>,
+      "dovetail::sort: the key type has no key_codec — sort by an "
+      "unsigned/signed integer, float/double, a pair/tuple of those, or "
+      "specialize dovetail::key_codec<K> (see core/key_codec.hpp)");
+  using traits = codec_traits<K>;
+  using codec = typename traits::codec;
+  detail::note_entry(opt.stats, sort_entry::sort, traits::kind,
+                     traits::encoded_bits);
+  if constexpr (std::is_trivially_copyable_v<Rec> && traits::cheap) {
+    // Fused: kernels, sketch and dispatch all see encoded keys; records
+    // are scattered as-is and never decoded. Identity codecs (unsigned
+    // keys) skip even the encode wrapper.
+    if constexpr (traits::identity) {
+      return detail::sort_unsigned(data, key, opt);
+    } else {
+      return detail::sort_unsigned(
+          data, [&key](const Rec& r) { return codec::encode(key(r)); },
+          opt);
+    }
+  } else {
+    // Encode once, sort (encoded, index) pairs, gather the records —
+    // also the route for non-trivially-copyable records regardless of
+    // key type (the radix kernels cannot scatter them).
+    const std::size_t n = data.size();
+    sort_workspace local_ws;
+    sort_workspace& ws = opt.workspace != nullptr ? *opt.workspace : local_ws;
+    detail::scratch_array<Rec> tmp(n, ws, opt.stats);
+    const std::span<Rec> t = tmp.get();
+    const sort_kernel k = detail::ranked_permutation(
+        n, traits::encoded_bits,
+        [&](std::size_t i) {
+          return static_cast<std::uint64_t>(codec::encode(key(data[i])));
+        },
+        opt, ws,
+        [&](std::size_t pos, std::size_t src) { t[pos] = data[src]; });
+    detail::write_back(t, data);
+    return k;
+  }
+}
+
+// Convenience overload for spans of plain keys — unsigned (as before) or
+// any other codec-covered type: sorts the values themselves.
 template <typename K>
-  requires std::is_unsigned_v<K>
+  requires sortable_key<K>
 sort_kernel sort(std::span<K> data, const auto_sort_options& opt = {}) {
   return sort(data, [](const K& k) { return k; }, opt);
+}
+
+// Sort parallel key/value arrays (SoA): stably sort `keys` in place by
+// their codec order and apply the same permutation to `values`. The value
+// bytes never ride through a radix pass — the dispatcher sorts (encoded
+// key, index) pairs, then each array is gathered exactly once — so 4-byte
+// keys stop dragging 32-byte rows through every scatter (the bench_suite
+// codec-soa family measures the win against the equivalent AoS sort).
+//
+// Returns the kernel that sorted the pairs. Stable: equal keys keep their
+// input order in both arrays. Workspace/stats contract as dovetail::sort;
+// trivially copyable K/V lease all scratch (warm calls allocate nothing),
+// other types must be default-constructible + copy-assignable and use
+// per-call vectors.
+//
+// Throws std::invalid_argument when the spans' sizes differ.
+template <typename K, typename V>
+sort_kernel sort_by_key(std::span<K> keys, std::span<V> values,
+                        const auto_sort_options& opt = {}) {
+  static_assert(sortable_key<K>,
+                "dovetail::sort_by_key: the key type has no key_codec "
+                "(see core/key_codec.hpp)");
+  if (keys.size() != values.size())
+    throw std::invalid_argument(
+        "dovetail::sort_by_key: keys and values differ in size");
+  using traits = codec_traits<K>;
+  using codec = typename traits::codec;
+  const std::size_t n = keys.size();
+  detail::note_entry(opt.stats, sort_entry::sort_by_key, traits::kind,
+                     traits::encoded_bits);
+  sort_workspace local_ws;
+  sort_workspace& ws = opt.workspace != nullptr ? *opt.workspace : local_ws;
+  detail::scratch_array<K> tk(n, ws, opt.stats);
+  detail::scratch_array<V> tv(n, ws, opt.stats);
+  const std::span<K> sk = tk.get();
+  const std::span<V> sv = tv.get();
+  const sort_kernel k = detail::ranked_permutation(
+      n, traits::encoded_bits,
+      [&](std::size_t i) {
+        return static_cast<std::uint64_t>(codec::encode(keys[i]));
+      },
+      opt, ws,
+      [&](std::size_t pos, std::size_t src) {
+        sk[pos] = keys[src];
+        sv[pos] = values[src];
+      });
+  detail::write_back(sk, keys);
+  detail::write_back(sv, values);
+  return k;
+}
+
+// Stable argsort: the permutation p with data[p[0]], data[p[1]], ... in
+// non-decreasing (stable) key order — computed without moving, or even
+// being able to write, the records. p[i] is the input index of the record
+// ranking i-th; records with equal keys keep increasing input indices.
+// Accepts const and non-const spans; `key` may return any codec-covered
+// type. The pair sort runs through the same adaptive dispatcher and
+// workspace as dovetail::sort (the returned vector is the only per-call
+// allocation on warm workspaces).
+template <typename Rec, typename KeyFn>
+std::vector<index_t> rank(std::span<Rec> data, const KeyFn& key,
+                          const auto_sort_options& opt = {}) {
+  using R = std::remove_const_t<Rec>;
+  using K =
+      std::remove_cvref_t<std::invoke_result_t<const KeyFn&, const R&>>;
+  static_assert(sortable_key<K>,
+                "dovetail::rank: the key type has no key_codec "
+                "(see core/key_codec.hpp)");
+  using traits = codec_traits<K>;
+  using codec = typename traits::codec;
+  const std::size_t n = data.size();
+  detail::note_entry(opt.stats, sort_entry::rank, traits::kind,
+                     traits::encoded_bits);
+  sort_workspace local_ws;
+  sort_workspace& ws = opt.workspace != nullptr ? *opt.workspace : local_ws;
+  std::vector<index_t> out(n);
+  detail::ranked_permutation(
+      n, traits::encoded_bits,
+      [&](std::size_t i) {
+        return static_cast<std::uint64_t>(codec::encode(key(data[i])));
+      },
+      opt, ws, [&](std::size_t pos, std::size_t src) { out[pos] = src; });
+  return out;
+}
+
+// rank over a span of plain keys.
+template <typename K>
+  requires sortable_key<K>
+std::vector<index_t> rank(std::span<K> data,
+                          const auto_sort_options& opt = {}) {
+  using P = std::remove_const_t<K>;
+  return rank(data, [](const P& k) { return k; }, opt);
 }
 
 }  // namespace dovetail

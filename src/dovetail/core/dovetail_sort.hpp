@@ -33,6 +33,7 @@
 #include "dovetail/core/bucket_table.hpp"
 #include "dovetail/core/distribute.hpp"
 #include "dovetail/core/dt_merge.hpp"
+#include "dovetail/core/key_codec.hpp"
 #include "dovetail/core/sampling.hpp"
 #include "dovetail/core/sort_options.hpp"
 #include "dovetail/core/sort_stats.hpp"
@@ -268,9 +269,11 @@ class dt_sorter {
 
 // Sort `data` in place by `key(record)` in non-decreasing key order.
 //
-// Requirements: Rec is trivially copyable; `key` returns an unsigned
-// integer and is a pure function of the record (it is called multiple
-// times per record). `data` must not overlap the workspace's buffers.
+// Requirements: Rec is trivially copyable; `key` is a pure function of the
+// record (it is called multiple times per record) returning an unsigned
+// integer or any other codec-covered type (key_codec.hpp) — non-unsigned
+// keys are sorted by their order-preserving encoding. `data` must not
+// overlap the workspace's buffers.
 //
 // Guarantees:
 //   * Stable — records with equal keys keep their input order (unaffected
@@ -289,13 +292,30 @@ class dt_sorter {
 template <typename Rec, typename KeyFn>
 void dovetail_sort(std::span<Rec> data, const KeyFn& key,
                    const sort_options& opt = {}) {
-  detail::dt_sorter<Rec, KeyFn> s(data, key, opt);
-  s.run();
+  using K =
+      std::remove_cvref_t<std::invoke_result_t<const KeyFn&, const Rec&>>;
+  if constexpr (std::is_unsigned_v<K>) {
+    detail::dt_sorter<Rec, KeyFn> s(data, key, opt);
+    s.run();
+  } else {
+    // Typed keys (key_codec.hpp): run the kernel over the order-preserving
+    // unsigned encoding. The records themselves are scattered unchanged,
+    // so no decode pass is needed.
+    static_assert(sortable_key<K>,
+                  "dovetail_sort: the key type has no key_codec "
+                  "(see core/key_codec.hpp)");
+    const auto enc = [&key](const Rec& r) {
+      return key_codec<K>::encode(key(r));
+    };
+    detail::dt_sorter<Rec, decltype(enc)> s(data, enc, opt);
+    s.run();
+  }
 }
 
-// Convenience overload for plain unsigned keys.
+// Convenience overload for spans of plain keys — unsigned, or any other
+// codec-covered trivially-copyable type (signed integers, float/double).
 template <typename K>
-  requires std::is_unsigned_v<K>
+  requires(sortable_key<K> && std::is_trivially_copyable_v<K>)
 void dovetail_sort(std::span<K> data, const sort_options& opt = {}) {
   dovetail_sort(data, [](const K& k) { return k; }, opt);
 }

@@ -32,8 +32,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <vector>
 
+#include "dovetail/core/key_codec.hpp"
 #include "dovetail/core/sampling.hpp"
 #include "dovetail/parallel/random.hpp"
 #include "dovetail/util/bits.hpp"
@@ -112,11 +114,26 @@ struct input_sketch {
 };
 
 // Sketch `data` under `key`. Pure read-only; deterministic for a fixed
-// opt.seed. Requirements match the sorters': `key` returns an unsigned
-// integer and is a pure function of the record.
+// opt.seed. Requirements match the sorters': `key` is a pure function of
+// the record returning an unsigned integer — or any other codec-covered
+// type (key_codec.hpp), in which case the sketch runs over the ENCODED
+// keys: exactly what the dispatcher and the radix kernels will see, so
+// range/digit/order statistics stay meaningful (e.g. a descending float
+// array still probes as descending, because the total-order transform is
+// monotone).
 template <typename Rec, typename KeyFn>
 input_sketch sketch_input(std::span<const Rec> data, const KeyFn& key,
                           const sketch_options& opt = {}) {
+  using K =
+      std::remove_cvref_t<std::invoke_result_t<const KeyFn&, const Rec&>>;
+  if constexpr (!std::is_unsigned_v<K>) {
+    static_assert(sortable_key<K>,
+                  "sketch_input: the key type has no key_codec "
+                  "(see core/key_codec.hpp)");
+    return sketch_input(
+        data,
+        [&key](const Rec& r) { return key_codec<K>::encode(key(r)); }, opt);
+  } else {
   input_sketch s;
   s.n = data.size();
   if (s.n == 0) return s;
@@ -174,6 +191,7 @@ input_sketch sketch_input(std::span<const Rec> data, const KeyFn& key,
     }
   }
   return s;
+  }  // constexpr-else: unsigned keys
 }
 
 }  // namespace dovetail

@@ -1,0 +1,329 @@
+// key_codec<K> — the typed-key customization point in front of the radix
+// kernels.
+//
+// Every kernel in this library (DTSort, the LSD/MSD baselines, the engine)
+// sorts by an *unsigned integer* key, because that is what a radix pass can
+// chew on. Real workloads arrive with signed offsets, IEEE floats and
+// (hi, lo) composite keys — the PPoPP'24 evaluation itself motivates integer
+// sort through Morton codes, graph reordering and group-bys, all of which
+// carry such keys. The classic fix (PBBS's `integer_sort(In, f)`, RADULS,
+// the Gerbessiotis multicore studies) is an order-preserving bit encoding:
+// map the key to an unsigned integer such that
+//
+//     a < b  (key order)   ⇔   encode(a) < encode(b)  (unsigned order)
+//
+// and every radix method works unchanged. This header defines that mapping
+// as a customization point:
+//
+//   template <typename K> struct key_codec {
+//     using encoded_t = /* unsigned integer type */;
+//     static encoded_t encode(K);   // order-preserving
+//     static K decode(encoded_t);   // exact inverse of encode
+//   };
+//
+// Built-in codecs:
+//   * unsigned integers — identity (the kernels' native currency; zero cost).
+//   * signed integers   — sign-bit flip: adding 2^(w-1) maps
+//     [INT_MIN, INT_MAX] monotonically onto [0, 2^w); exact round trip.
+//   * float / double    — the IEEE-754 total-order transform: positive
+//     values get the sign bit set, negative values are bitwise complemented.
+//     Encoded order is IEEE totalOrder: -NaN < -inf < ... < -0.0 < +0.0 <
+//     ... < +inf < +NaN, with NaNs ordered by payload. NaN POLICY: NaNs are
+//     never compared via operator< (which would be UB-adjacent nonsense);
+//     they sort deterministically to the two ends by their sign bit.
+//     Note -0.0 and +0.0 are DISTINCT encodings ordered -0.0 < +0.0, so for
+//     non-NaN values a < b ⇒ encode(a) < encode(b), and
+//     encode(a) < encode(b) ⇒ a ≤ b (equality only for the two zeros).
+//     Round trip is bit-exact, NaN payloads included.
+//   * std::pair / std::tuple of codec-covered components — lexicographic
+//     bit concatenation: the first component occupies the high bits. The
+//     encoded width is the sum of the component widths, packed into the
+//     smallest unsigned type that fits (u8/u16/u32/u64, e.g.
+//     pair<u32, u32> → u64, tuple<u16, i16, u8> → u64 using 40 bits).
+//     Composites wider than 64 bits (e.g. pair<u64, u64>) fail with a
+//     clear static_assert — split the sort or provide a custom codec.
+//     Nested composites work as long as the total fits, budgeted by each
+//     component's LOGICAL width (codec_traits<K>::encoded_bits), not its
+//     container type — a 40-bit tuple nested in a pair costs 40 bits,
+//     not the 64 of the u64 it travels in.
+//
+// A codec must be a bijection between the key's value set and a subset of
+// encoded_t values (round-trip-exact both ways), and encode must be
+// order-preserving in the sense above. The `cheap` flag tells the front
+// door (auto_sort.hpp) the encode is a few ALU ops, safe to recompute per
+// radix pass (fused encoding); codecs without it get the encode-once path.
+//
+// Specialize key_codec in namespace dovetail to cover your own key type;
+// codec_traits<K> below is what the entry points consult.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+namespace dovetail {
+
+// How a codec transforms keys — recorded in sort_stats::codec_kind_id
+// (1 + the enum value) by the front-door entry points.
+enum class codec_kind : std::uint8_t {
+  identity,           // unsigned keys, encode is a no-op
+  sign_flip,          // signed integers
+  float_total_order,  // float/double IEEE total-order transform
+  composite,          // pair/tuple bit concatenation
+  custom,             // user specialization without a `kind` member
+};
+
+inline const char* codec_kind_name(codec_kind k) {
+  switch (k) {
+    case codec_kind::identity: return "identity";
+    case codec_kind::sign_flip: return "sign-flip";
+    case codec_kind::float_total_order: return "float-total-order";
+    case codec_kind::composite: return "composite";
+    case codec_kind::custom: return "custom";
+  }
+  return "?";
+}
+
+// Primary template: intentionally undefined. A key type is codec-covered
+// iff a specialization below (or a user one) exists; sortable_key<K> is
+// the detection concept the entry points constrain on.
+template <typename K>
+struct key_codec;
+
+// ---------------------------------------------------------------------------
+// Built-in codecs.
+
+// Unsigned integers: identity. bool is excluded — it is not a sort key.
+template <typename K>
+  requires(std::unsigned_integral<K> && !std::same_as<K, bool>)
+struct key_codec<K> {
+  using encoded_t = K;
+  static constexpr codec_kind kind = codec_kind::identity;
+  static constexpr bool cheap = true;
+  static constexpr encoded_t encode(K k) noexcept { return k; }
+  static constexpr K decode(encoded_t e) noexcept { return e; }
+};
+
+// Signed integers: flip the sign bit. In two's complement this adds
+// 2^(w-1) modulo 2^w, mapping INT_MIN → 0 and INT_MAX → 2^w - 1, a strictly
+// monotone bijection.
+template <typename K>
+  requires std::signed_integral<K>
+struct key_codec<K> {
+  using encoded_t = std::make_unsigned_t<K>;
+  static constexpr codec_kind kind = codec_kind::sign_flip;
+  static constexpr bool cheap = true;
+  static constexpr encoded_t sign_bit = encoded_t{1}
+                                        << (8 * sizeof(K) - 1);
+  static constexpr encoded_t encode(K k) noexcept {
+    return static_cast<encoded_t>(k) ^ sign_bit;
+  }
+  static constexpr K decode(encoded_t e) noexcept {
+    return static_cast<K>(e ^ sign_bit);
+  }
+};
+
+// float/double: IEEE-754 total-order transform. For a non-negative float
+// the raw bit pattern already orders correctly, so setting the sign bit
+// lifts it above every negative; for a negative float larger magnitude
+// means smaller value, so complementing all bits reverses the magnitude
+// order and clears the (encoded) sign bit. See the header comment for the
+// resulting NaN/-0.0 policy.
+template <typename F>
+  requires(std::same_as<F, float> || std::same_as<F, double>)
+struct key_codec<F> {
+  using encoded_t =
+      std::conditional_t<sizeof(F) == 4, std::uint32_t, std::uint64_t>;
+  static constexpr codec_kind kind = codec_kind::float_total_order;
+  static constexpr bool cheap = true;
+  static constexpr encoded_t sign_bit = encoded_t{1}
+                                        << (8 * sizeof(F) - 1);
+  static constexpr encoded_t encode(F f) noexcept {
+    const auto b = std::bit_cast<encoded_t>(f);
+    return (b & sign_bit) != 0 ? static_cast<encoded_t>(~b)
+                               : static_cast<encoded_t>(b | sign_bit);
+  }
+  static constexpr F decode(encoded_t e) noexcept {
+    return std::bit_cast<F>((e & sign_bit) != 0
+                                ? static_cast<encoded_t>(e ^ sign_bit)
+                                : static_cast<encoded_t>(~e));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Detection + traits.
+
+// A key type the typed entry points accept. Checking the requires-clause
+// instantiates key_codec<K>, so a composite that exists but does not fit
+// 64 bits fails loudly at its static_assert rather than silently dropping
+// out of overload resolution — exactly the diagnostic we want.
+template <typename K>
+concept sortable_key = requires(const std::remove_cvref_t<K>& k) {
+  typename key_codec<std::remove_cvref_t<K>>::encoded_t;
+  {
+    key_codec<std::remove_cvref_t<K>>::encode(k)
+  } -> std::same_as<typename key_codec<std::remove_cvref_t<K>>::encoded_t>;
+};
+
+namespace detail {
+
+template <typename C>
+concept codec_has_kind =
+    requires { { C::kind } -> std::convertible_to<codec_kind>; };
+
+template <typename C>
+concept codec_has_cheap =
+    requires { { C::cheap } -> std::convertible_to<bool>; };
+
+template <typename C>
+concept codec_has_bits =
+    requires { { C::encoded_bits } -> std::convertible_to<int>; };
+
+// Smallest unsigned type holding `Bits` bits (Bits in [1, 64]).
+template <int Bits>
+using uint_for_bits_t = std::conditional_t<
+    (Bits <= 8), std::uint8_t,
+    std::conditional_t<(Bits <= 16), std::uint16_t,
+                       std::conditional_t<(Bits <= 32), std::uint32_t,
+                                          std::uint64_t>>>;
+
+}  // namespace detail
+
+// What the entry points consult: the codec plus uniform defaults for the
+// optional members (`kind` defaults to custom, `cheap` to false — an
+// unknown user codec gets the conservative encode-once path).
+template <sortable_key K>
+struct codec_traits {
+  using key_t = std::remove_cvref_t<K>;
+  using codec = key_codec<key_t>;
+  using encoded_t = typename codec::encoded_t;
+  static_assert(std::unsigned_integral<encoded_t> &&
+                    !std::same_as<encoded_t, bool>,
+                "key_codec<K>::encoded_t must be an unsigned integer type");
+  // LOGICAL encoded width: every encode(k) < 2^encoded_bits. Composites
+  // occupy fewer bits than their encoded_t container (e.g. a
+  // tuple<u16, i16, u8> uses 40 of a u64), and nested composites are
+  // budgeted by this value, not the container size. Codecs without the
+  // member use their container width.
+  static constexpr int encoded_bits = [] {
+    if constexpr (detail::codec_has_bits<codec>) return codec::encoded_bits;
+    else return static_cast<int>(8 * sizeof(encoded_t));
+  }();
+  static_assert(encoded_bits >= 1 &&
+                    encoded_bits <= static_cast<int>(8 * sizeof(encoded_t)),
+                "key_codec<K>::encoded_bits must fit encoded_t");
+  static constexpr codec_kind kind = [] {
+    if constexpr (detail::codec_has_kind<codec>) return codec::kind;
+    else return codec_kind::custom;
+  }();
+  static constexpr bool cheap = [] {
+    if constexpr (detail::codec_has_cheap<codec>) return codec::cheap;
+    else return false;
+  }();
+  static constexpr bool identity = kind == codec_kind::identity;
+};
+
+// ---------------------------------------------------------------------------
+// Composite codecs: lexicographic bit concatenation.
+
+namespace detail {
+
+template <sortable_key K>
+inline constexpr int codec_bits_v = codec_traits<K>::encoded_bits;
+
+template <int Bits, typename E>
+constexpr E codec_low_mask() noexcept {
+  return Bits >= 8 * static_cast<int>(sizeof(E))
+             ? static_cast<E>(~E{0})
+             : static_cast<E>((E{1} << Bits) - 1);
+}
+
+}  // namespace detail
+
+// std::tuple of codec-covered components, first component most
+// significant. Also the engine behind the std::pair codec below.
+template <typename... Ts>
+  requires(sizeof...(Ts) > 0 && (sortable_key<Ts> && ...))
+struct key_codec<std::tuple<Ts...>> {
+ private:
+  static constexpr std::size_t N = sizeof...(Ts);
+  static constexpr std::array<int, N> elem_bits{
+      detail::codec_bits_v<Ts>...};
+  static constexpr int total_bits = (detail::codec_bits_v<Ts> + ...);
+  static_assert(total_bits <= 64,
+                "key_codec: composite key needs more than 64 encoded bits "
+                "and cannot be packed into one radix key — sort by a prefix "
+                "of the components (then refine), or provide a custom "
+                "key_codec specialization");
+  // shifts[i] = number of encoded bits to the right of component i.
+  static constexpr std::array<int, N> shifts = [] {
+    std::array<int, N> s{};
+    int acc = 0;
+    for (std::size_t i = N; i-- > 0;) {
+      s[i] = acc;
+      acc += elem_bits[i];
+    }
+    return s;
+  }();
+
+ public:
+  using encoded_t = detail::uint_for_bits_t<total_bits>;
+  static constexpr int encoded_bits = total_bits;  // logical, not container
+  static constexpr codec_kind kind = codec_kind::composite;
+  static constexpr bool cheap = (codec_traits<Ts>::cheap && ...);
+
+  static constexpr encoded_t encode(const std::tuple<Ts...>& t) noexcept {
+    return encode_impl(t, std::index_sequence_for<Ts...>{});
+  }
+  static constexpr std::tuple<Ts...> decode(encoded_t e) noexcept {
+    return decode_impl(e, std::index_sequence_for<Ts...>{});
+  }
+
+ private:
+  template <std::size_t... I>
+  static constexpr encoded_t encode_impl(const std::tuple<Ts...>& t,
+                                         std::index_sequence<I...>) noexcept {
+    return static_cast<encoded_t>(
+        (... | (static_cast<std::uint64_t>(
+                    key_codec<std::remove_cvref_t<Ts>>::encode(
+                        std::get<I>(t)))
+                << shifts[I])));
+  }
+  template <std::size_t... I>
+  static constexpr std::tuple<Ts...> decode_impl(
+      encoded_t e, std::index_sequence<I...>) noexcept {
+    return std::tuple<Ts...>(key_codec<std::remove_cvref_t<Ts>>::decode(
+        static_cast<typename codec_traits<Ts>::encoded_t>(
+            (static_cast<std::uint64_t>(e) >> shifts[I]) &
+            detail::codec_low_mask<detail::codec_bits_v<Ts>,
+                                   std::uint64_t>()))...);
+  }
+};
+
+// std::pair — forwarded through the tuple codec.
+template <typename A, typename B>
+  requires(sortable_key<A> && sortable_key<B>)
+struct key_codec<std::pair<A, B>> {
+ private:
+  using tup = key_codec<std::tuple<A, B>>;
+
+ public:
+  using encoded_t = typename tup::encoded_t;
+  static constexpr int encoded_bits = tup::encoded_bits;
+  static constexpr codec_kind kind = codec_kind::composite;
+  static constexpr bool cheap = tup::cheap;
+  static constexpr encoded_t encode(const std::pair<A, B>& p) noexcept {
+    return tup::encode(std::tuple<A, B>(p.first, p.second));
+  }
+  static constexpr std::pair<A, B> decode(encoded_t e) noexcept {
+    auto t = tup::decode(e);
+    return {std::get<0>(t), std::get<1>(t)};
+  }
+};
+
+}  // namespace dovetail

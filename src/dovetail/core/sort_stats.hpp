@@ -75,6 +75,14 @@ struct sort_stats {
   // Exact run count measured by the run-merge confirmation scan (0 when
   // that branch was never entered).
   std::atomic<std::uint64_t> sketch_runs{0};
+  // Typed front door (key_codec.hpp): which public entry point ran last
+  // (1 + sort_entry: sort / sort_by_key / rank; decode with
+  // entry_point_of()) and the key codec it used (1 + codec_kind, decode
+  // with codec_kind_of(); encoded key width in bits). Snapshots, like
+  // chosen_kernel.
+  std::atomic<std::uint64_t> entry_point{0};
+  std::atomic<std::uint64_t> codec_kind_id{0};
+  std::atomic<std::uint64_t> codec_encoded_bits{0};
 
   // --- Timing / throughput (bench harness, dtsort_cli) ---
   // Wall-clock totals for whole-sort runs attributed to this stats object.
@@ -132,6 +140,9 @@ struct sort_stats {
     sketch_desc_permille = 0;
     sketch_heavy_keys = 0;
     sketch_runs = 0;
+    entry_point = 0;
+    codec_kind_id = 0;
+    codec_encoded_bits = 0;
     timed_runs = 0;
     timed_ns = 0;
     timed_records = 0;

@@ -38,4 +38,28 @@ inline constexpr auto key_of_kv32 = [](const kv32& r) { return r.key; };
 inline constexpr auto key_of_kv64 = [](const kv64& r) { return r.key; };
 inline constexpr auto key_of_kv32w = [](const kv32w& r) { return r.key; };
 
+// Generic typed-key record for the codec entry points (core/key_codec.hpp):
+// any codec-covered key type plus the 32-bit stability-witness value
+// (generators fill value = input index, like the kv* shapes).
+template <typename K>
+struct tkv {
+  K key;
+  std::uint32_t value;
+  friend bool operator==(const tkv&, const tkv&) = default;
+};
+
+template <typename K>
+inline constexpr auto key_of_tkv = [](const tkv<K>& r) { return r.key; };
+
+// The value side of a kv32w row split SoA-style: everything but the key
+// (28 bytes). sort_by_key(u32 keys, row28 values) is the SoA counterpart
+// of sorting kv32w records, measured by the bench_suite codec-soa family.
+struct row28 {
+  std::uint32_t value;
+  std::uint32_t payload[6];
+  friend bool operator==(const row28&, const row28&) = default;
+};
+
+static_assert(sizeof(row28) == 28);
+
 }  // namespace dovetail
