@@ -34,6 +34,7 @@
 #include "scenarios_engine.hpp"
 #include "scenarios_matrix.hpp"
 #include "scenarios_scaling.hpp"
+#include "scenarios_wide.hpp"
 
 namespace {
 
@@ -175,6 +176,7 @@ int main(int argc, char** argv) {
   dtb::register_theory_scenarios(cfg);
   dtb::register_auto_scenarios(cfg);
   dtb::register_codec_scenarios(cfg);
+  dtb::register_wide_scenarios(cfg);
 
   std::vector<const dtb::scenario*> selected;
   for (const auto& s : registry.scenarios())
@@ -268,9 +270,12 @@ int main(int argc, char** argv) {
         "matrix, paper figure/table reproductions (Fig 4a-f, Tab 3, Tab 4, "
         "Appendix B), engine micro-benchmarks, Sec 4 work-bound "
         "validation, the adaptive front door (auto families: "
-        "dovetail::sort vs pinned kernels), and the typed-key/SoA codec "
+        "dovetail::sort vs pinned kernels), the typed-key/SoA codec "
         "families (codec-32/64: signed/float/pair keys vs std::stable_sort; "
-        "codec-soa: sort_by_key + rank vs the AoS wide-record sort). Times "
+        "codec-soa: sort_by_key + rank vs the AoS wide-record sort), and "
+        "the wide-key families (wide-128: u128/pair-u64 keys through the "
+        "refine-by-segment driver vs std::stable_sort; wide-str: string "
+        "keys, 16-byte radix prefix + tie-break). Times "
         "are medians over the "
         "timed repetitions on a warm workspace; every scenario is "
         "cross-checked (see 'check').",

@@ -75,6 +75,36 @@ constexpr std::uint64_t morton3d_63(std::uint32_t x, std::uint32_t y,
   return part1by2_21(x) | (part1by2_21(y) << 1) | (part1by2_21(z) << 2);
 }
 
+#if defined(__SIZEOF_INT128__)
+
+// High-precision 3D point with 42-bit coordinates — one z-value per
+// micron over a ~4400 km cube, the regime where the 63-bit Morton key
+// above runs out of coordinate bits.
+struct point3d42 {
+  std::uint64_t x;
+  std::uint64_t y;
+  std::uint64_t z;
+  friend bool operator==(const point3d42&, const point3d42&) = default;
+};
+
+// Spread the low 42 bits of x with two zero bits between each, for 3D
+// interleaving into 126 bits: the 21-bit spreader applied to each half,
+// the upper half landing at bit 63 (= 3 * 21).
+constexpr unsigned __int128 part1by2_42(std::uint64_t x) noexcept {
+  const unsigned __int128 lo = part1by2_21(x & 0x1FFFFF);
+  const unsigned __int128 hi = part1by2_21((x >> 21) & 0x1FFFFF);
+  return (hi << 63) | lo;
+}
+
+// 3D z-value from 42-bit coordinates: a 126-bit key carried in
+// __uint128_t, sorted through dovetail::sort's wide (multi-word) path.
+constexpr unsigned __int128 morton3d_126(std::uint64_t x, std::uint64_t y,
+                                         std::uint64_t z) noexcept {
+  return part1by2_42(x) | (part1by2_42(y) << 1) | (part1by2_42(z) << 2);
+}
+
+#endif  // __SIZEOF_INT128__
+
 // Precomputed (z-value, point-index) pairs ready for integer sorting.
 struct zrec32 {
   std::uint32_t key;    // z-value
@@ -102,6 +132,42 @@ inline std::vector<zrec64> morton_records_3d(std::span<const point3d> pts) {
   });
   return out;
 }
+
+#if defined(__SIZEOF_INT128__)
+
+// 126-bit (z-value, point-index) pair for the high-precision path.
+struct zrec128 {
+  unsigned __int128 key;
+  std::uint64_t value;
+};
+
+inline std::vector<zrec128> morton_records_3d42(
+    std::span<const point3d42> pts) {
+  std::vector<zrec128> out(pts.size());
+  par::parallel_for(0, pts.size(), [&](std::size_t i) {
+    out[i] = {morton3d_126(pts[i].x, pts[i].y, pts[i].z),
+              static_cast<std::uint64_t>(i)};
+  });
+  return out;
+}
+
+// High-precision Morton sort: 42-bit coordinates through a 126-bit
+// z-value. The sorter receives (span<zrec128>, key) exactly like the
+// narrower overloads — dovetail::sort handles the wide key via the
+// refine-by-segment driver.
+template <typename Sorter>
+std::vector<point3d42> morton_sort_3d42(std::span<const point3d42> pts,
+                                        Sorter&& sorter) {
+  std::vector<zrec128> recs = morton_records_3d42(pts);
+  sorter(std::span<zrec128>(recs),
+         [](const zrec128& r) { return r.key; });
+  std::vector<point3d42> out(pts.size());
+  par::parallel_for(0, pts.size(),
+                    [&](std::size_t i) { out[i] = pts[recs[i].value]; });
+  return out;
+}
+
+#endif  // __SIZEOF_INT128__
 
 // Morton sort: reorder points along the z-curve with the given stable
 // integer sorter. Returns the permuted points.

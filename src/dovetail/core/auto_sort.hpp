@@ -49,6 +49,11 @@
 //     workspace-leased (encoded key, index) array, sort that through the
 //     same dispatcher, and apply the resulting stable permutation back to
 //     the records with one gather pass.
+//   * WIDE keys — multi-word codecs (pair<u64, u64>, __int128, strings,
+//     >64-bit composites; key_codec.hpp) — route through the segmented-
+//     MSD refine driver of core/wide_sort.hpp: sort by word 0 through
+//     this same dispatcher, then refine equal-prefix segments word by
+//     word. The single-word fast paths below are untouched.
 // The encode-once machinery is also what powers the SoA entry points:
 //   * sort_by_key(keys, values) sorts parallel key/value arrays without
 //     ever dragging the value bytes through a radix pass (4-byte keys stop
@@ -211,6 +216,14 @@ struct dispatch_policy {
   // 32-bit BENCH_suite.json instance outside the duplicate regime. Wider
   // keys default to dtsort (the paper's 64-bit headline, Tab 3 right).
   int lsd_max_key_bits = 32;
+  // Wide (multi-word) keys only: equal-prefix segments at or below this
+  // size finish with one stable comparison sort over the remaining words
+  // instead of re-entering the radix front door (wide_sort.hpp). A
+  // segment must amortise a full dispatch + distribution pass to be worth
+  // radixing again; below ~2^15 records the comparison sort — run in
+  // parallel ACROSS segments — wins on every wide BENCH_wide.json
+  // instance.
+  std::size_t wide_segment_base_case = std::size_t{1} << 15;
 
   // The decision tree. `disallow` is a bitmask of sort_kernel values the
   // caller has ruled out (the dispatcher uses it when a cheap-branch
@@ -675,6 +688,21 @@ void write_back(std::span<T> from, std::span<T> to) {
   }
 }
 
+// Wide (multi-word) key routes — defined in core/wide_sort.hpp, which is
+// included at the bottom of this header so either include gives the whole
+// front door. The public entry points below branch here whenever the key
+// type's codec is multi-word (pair<u64, u64>, __int128, strings, >64-bit
+// composites).
+template <typename Rec, typename KeyFn>
+sort_kernel sort_wide(std::span<Rec> data, const KeyFn& key,
+                      const auto_sort_options& opt);
+template <typename K, typename V>
+sort_kernel sort_by_key_wide(std::span<K> keys, std::span<V> values,
+                             const auto_sort_options& opt);
+template <typename Rec, typename KeyFn>
+std::vector<index_t> rank_wide(std::span<Rec> data, const KeyFn& key,
+                               const auto_sort_options& opt);
+
 }  // namespace detail
 
 // Sort `data` in place by `key(record)` in non-decreasing key order,
@@ -684,8 +712,10 @@ void write_back(std::span<T> from, std::span<T> to) {
 //
 // `key` may return ANY codec-covered type (key_codec.hpp): unsigned — the
 // native path — or signed integers, float/double (IEEE total order; see
-// the NaN policy in key_codec.hpp), pair/tuple composites up to 64 encoded
-// bits, or a user key_codec specialization. Cheap codecs on trivially
+// the NaN policy in key_codec.hpp), pair/tuple composites of any packed
+// width, 128-bit integers, std::string/string_view (full lexicographic
+// order via the wide refine driver), or a user key_codec specialization
+// (single- or multi-word). Cheap codecs on trivially
 // copyable records fuse the encoding into every key access (no extra pass,
 // no extra memory); expensive codecs and non-trivially-copyable records
 // (e.g. std::pair elements under libstdc++) take the encode-once path:
@@ -714,52 +744,61 @@ sort_kernel sort(std::span<Rec> data, const KeyFn& key,
   using K =
       std::remove_cvref_t<std::invoke_result_t<const KeyFn&, const Rec&>>;
   static_assert(
-      sortable_key<K>,
+      any_sortable_key<K>,
       "dovetail::sort: the key type has no key_codec — sort by an "
-      "unsigned/signed integer, float/double, a pair/tuple of those, or "
+      "unsigned/signed integer, float/double, a pair/tuple of those (any "
+      "packed width), a 128-bit integer, std::string/string_view, or "
       "specialize dovetail::key_codec<K> (see core/key_codec.hpp)");
-  using traits = codec_traits<K>;
-  using codec = typename traits::codec;
-  detail::note_entry(opt.stats, sort_entry::sort, traits::kind,
-                     traits::encoded_bits);
-  if constexpr (std::is_trivially_copyable_v<Rec> && traits::cheap) {
-    // Fused: kernels, sketch and dispatch all see encoded keys; records
-    // are scattered as-is and never decoded. Identity codecs (unsigned
-    // keys) skip even the encode wrapper.
-    if constexpr (traits::identity) {
-      return detail::sort_unsigned(data, key, opt);
-    } else {
-      return detail::sort_unsigned(
-          data, [&key](const Rec& r) { return codec::encode(key(r)); },
-          opt);
-    }
+  if constexpr (!sortable_key<K>) {
+    // Multi-word codec: the segmented-MSD refine driver (wide_sort.hpp).
+    return detail::sort_wide(data, key, opt);
   } else {
-    // Encode once, sort (encoded, index) pairs, gather the records —
-    // also the route for non-trivially-copyable records regardless of
-    // key type (the radix kernels cannot scatter them).
-    const std::size_t n = data.size();
-    sort_workspace local_ws;
-    sort_workspace& ws = opt.workspace != nullptr ? *opt.workspace : local_ws;
-    detail::scratch_array<Rec> tmp(n, ws, opt.stats);
-    const std::span<Rec> t = tmp.get();
-    const sort_kernel k = detail::ranked_permutation(
-        n, traits::encoded_bits,
-        [&](std::size_t i) {
-          return static_cast<std::uint64_t>(codec::encode(key(data[i])));
-        },
-        opt, ws,
-        [&](std::size_t pos, std::size_t src) { t[pos] = data[src]; });
-    detail::write_back(t, data);
-    return k;
+    using traits = codec_traits<K>;
+    using codec = typename traits::codec;
+    detail::note_entry(opt.stats, sort_entry::sort, traits::kind,
+                       traits::encoded_bits);
+    if constexpr (std::is_trivially_copyable_v<Rec> && traits::cheap) {
+      // Fused: kernels, sketch and dispatch all see encoded keys; records
+      // are scattered as-is and never decoded. Identity codecs (unsigned
+      // keys) skip even the encode wrapper.
+      if constexpr (traits::identity) {
+        return detail::sort_unsigned(data, key, opt);
+      } else {
+        return detail::sort_unsigned(
+            data, [&key](const Rec& r) { return codec::encode(key(r)); },
+            opt);
+      }
+    } else {
+      // Encode once, sort (encoded, index) pairs, gather the records —
+      // also the route for non-trivially-copyable records regardless of
+      // key type (the radix kernels cannot scatter them).
+      const std::size_t n = data.size();
+      sort_workspace local_ws;
+      sort_workspace& ws =
+          opt.workspace != nullptr ? *opt.workspace : local_ws;
+      detail::scratch_array<Rec> tmp(n, ws, opt.stats);
+      const std::span<Rec> t = tmp.get();
+      const sort_kernel k = detail::ranked_permutation(
+          n, traits::encoded_bits,
+          [&](std::size_t i) {
+            return static_cast<std::uint64_t>(codec::encode(key(data[i])));
+          },
+          opt, ws,
+          [&](std::size_t pos, std::size_t src) { t[pos] = data[src]; });
+      detail::write_back(t, data);
+      return k;
+    }
   }
 }
 
 // Convenience overload for spans of plain keys — unsigned (as before) or
-// any other codec-covered type: sorts the values themselves.
+// any other codec-covered type, wide keys included: sorts the values
+// themselves. The key functor returns a reference so non-trivially-
+// copyable keys (std::string) are never copied per key access.
 template <typename K>
-  requires sortable_key<K>
+  requires any_sortable_key<K>
 sort_kernel sort(std::span<K> data, const auto_sort_options& opt = {}) {
-  return sort(data, [](const K& k) { return k; }, opt);
+  return sort(data, [](const K& k) -> const K& { return k; }, opt);
 }
 
 // Sort parallel key/value arrays (SoA): stably sort `keys` in place by
@@ -779,36 +818,41 @@ sort_kernel sort(std::span<K> data, const auto_sort_options& opt = {}) {
 template <typename K, typename V>
 sort_kernel sort_by_key(std::span<K> keys, std::span<V> values,
                         const auto_sort_options& opt = {}) {
-  static_assert(sortable_key<K>,
+  static_assert(any_sortable_key<K>,
                 "dovetail::sort_by_key: the key type has no key_codec "
                 "(see core/key_codec.hpp)");
   if (keys.size() != values.size())
     throw std::invalid_argument(
         "dovetail::sort_by_key: keys and values differ in size");
-  using traits = codec_traits<K>;
-  using codec = typename traits::codec;
-  const std::size_t n = keys.size();
-  detail::note_entry(opt.stats, sort_entry::sort_by_key, traits::kind,
-                     traits::encoded_bits);
-  sort_workspace local_ws;
-  sort_workspace& ws = opt.workspace != nullptr ? *opt.workspace : local_ws;
-  detail::scratch_array<K> tk(n, ws, opt.stats);
-  detail::scratch_array<V> tv(n, ws, opt.stats);
-  const std::span<K> sk = tk.get();
-  const std::span<V> sv = tv.get();
-  const sort_kernel k = detail::ranked_permutation(
-      n, traits::encoded_bits,
-      [&](std::size_t i) {
-        return static_cast<std::uint64_t>(codec::encode(keys[i]));
-      },
-      opt, ws,
-      [&](std::size_t pos, std::size_t src) {
-        sk[pos] = keys[src];
-        sv[pos] = values[src];
-      });
-  detail::write_back(sk, keys);
-  detail::write_back(sv, values);
-  return k;
+  if constexpr (!sortable_key<K>) {
+    return detail::sort_by_key_wide(keys, values, opt);
+  } else {
+    using traits = codec_traits<K>;
+    using codec = typename traits::codec;
+    const std::size_t n = keys.size();
+    detail::note_entry(opt.stats, sort_entry::sort_by_key, traits::kind,
+                       traits::encoded_bits);
+    sort_workspace local_ws;
+    sort_workspace& ws =
+        opt.workspace != nullptr ? *opt.workspace : local_ws;
+    detail::scratch_array<K> tk(n, ws, opt.stats);
+    detail::scratch_array<V> tv(n, ws, opt.stats);
+    const std::span<K> sk = tk.get();
+    const std::span<V> sv = tv.get();
+    const sort_kernel k = detail::ranked_permutation(
+        n, traits::encoded_bits,
+        [&](std::size_t i) {
+          return static_cast<std::uint64_t>(codec::encode(keys[i]));
+        },
+        opt, ws,
+        [&](std::size_t pos, std::size_t src) {
+          sk[pos] = keys[src];
+          sv[pos] = values[src];
+        });
+    detail::write_back(sk, keys);
+    detail::write_back(sv, values);
+    return k;
+  }
 }
 
 // Stable argsort: the permutation p with data[p[0]], data[p[1]], ... in
@@ -825,33 +869,43 @@ std::vector<index_t> rank(std::span<Rec> data, const KeyFn& key,
   using R = std::remove_const_t<Rec>;
   using K =
       std::remove_cvref_t<std::invoke_result_t<const KeyFn&, const R&>>;
-  static_assert(sortable_key<K>,
+  static_assert(any_sortable_key<K>,
                 "dovetail::rank: the key type has no key_codec "
                 "(see core/key_codec.hpp)");
-  using traits = codec_traits<K>;
-  using codec = typename traits::codec;
-  const std::size_t n = data.size();
-  detail::note_entry(opt.stats, sort_entry::rank, traits::kind,
-                     traits::encoded_bits);
-  sort_workspace local_ws;
-  sort_workspace& ws = opt.workspace != nullptr ? *opt.workspace : local_ws;
-  std::vector<index_t> out(n);
-  detail::ranked_permutation(
-      n, traits::encoded_bits,
-      [&](std::size_t i) {
-        return static_cast<std::uint64_t>(codec::encode(key(data[i])));
-      },
-      opt, ws, [&](std::size_t pos, std::size_t src) { out[pos] = src; });
-  return out;
+  if constexpr (!sortable_key<K>) {
+    return detail::rank_wide(data, key, opt);
+  } else {
+    using traits = codec_traits<K>;
+    using codec = typename traits::codec;
+    const std::size_t n = data.size();
+    detail::note_entry(opt.stats, sort_entry::rank, traits::kind,
+                       traits::encoded_bits);
+    sort_workspace local_ws;
+    sort_workspace& ws =
+        opt.workspace != nullptr ? *opt.workspace : local_ws;
+    std::vector<index_t> out(n);
+    detail::ranked_permutation(
+        n, traits::encoded_bits,
+        [&](std::size_t i) {
+          return static_cast<std::uint64_t>(codec::encode(key(data[i])));
+        },
+        opt, ws, [&](std::size_t pos, std::size_t src) { out[pos] = src; });
+    return out;
+  }
 }
 
-// rank over a span of plain keys.
+// rank over a span of plain keys, wide keys included.
 template <typename K>
-  requires sortable_key<K>
+  requires any_sortable_key<K>
 std::vector<index_t> rank(std::span<K> data,
                           const auto_sort_options& opt = {}) {
   using P = std::remove_const_t<K>;
-  return rank(data, [](const P& k) { return k; }, opt);
+  return rank(data, [](const P& k) -> const P& { return k; }, opt);
 }
 
 }  // namespace dovetail
+
+// The wide-key half of the front door (the segmented-MSD refine driver
+// plus the detail::*_wide helpers forward-declared above). Included last
+// so either header pulls in the other; see wide_sort.hpp.
+#include "dovetail/core/wide_sort.hpp"  // NOLINT(misc-header-include-cycle)

@@ -127,12 +127,24 @@ input_sketch sketch_input(std::span<const Rec> data, const KeyFn& key,
   using K =
       std::remove_cvref_t<std::invoke_result_t<const KeyFn&, const Rec&>>;
   if constexpr (!std::is_unsigned_v<K>) {
-    static_assert(sortable_key<K>,
+    static_assert(any_sortable_key<K>,
                   "sketch_input: the key type has no key_codec "
                   "(see core/key_codec.hpp)");
-    return sketch_input(
-        data,
-        [&key](const Rec& r) { return key_codec<K>::encode(key(r)); }, opt);
+    if constexpr (!sortable_key<K>) {
+      // Wide (multi-word) key: sketch the most significant word — exactly
+      // what the refine driver's word-0 dispatch will see (wide_sort.hpp).
+      return sketch_input(
+          data,
+          [&key](const Rec& r) {
+            return wide_key_traits<K>::word(key(r), 0);
+          },
+          opt);
+    } else {
+      return sketch_input(
+          data,
+          [&key](const Rec& r) { return key_codec<K>::encode(key(r)); },
+          opt);
+    }
   } else {
   input_sketch s;
   s.n = data.size();

@@ -40,8 +40,8 @@
 //     encoded width is the sum of the component widths, packed into the
 //     smallest unsigned type that fits (u8/u16/u32/u64, e.g.
 //     pair<u32, u32> → u64, tuple<u16, i16, u8> → u64 using 40 bits).
-//     Composites wider than 64 bits (e.g. pair<u64, u64>) fail with a
-//     clear static_assert — split the sort or provide a custom codec.
+//     Composites wider than 64 bits (e.g. pair<u64, u64>) become
+//     multi-word codecs over the same bit string — see below.
 //     Nested composites work as long as the total fits, budgeted by each
 //     component's LOGICAL width (codec_traits<K>::encoded_bits), not its
 //     container type — a 40-bit tuple nested in a pair costs 40 bits,
@@ -53,8 +53,37 @@
 // door (auto_sort.hpp) the encode is a few ALU ops, safe to recompute per
 // radix pass (fused encoding); codecs without it get the encode-once path.
 //
+// MULTI-WORD (wide) codecs — keys wider than 64 encoded bits. Instead of
+// the single-word form, a codec may describe its key as a sequence of
+// 64-bit words compared lexicographically, most significant word first:
+//
+//   static constexpr std::size_t encoded_words;             // >= 1
+//   static std::uint64_t encode_word(const K& k, std::size_t w);
+//
+// Contract: a < b (key order) implies words(a) <= words(b) in
+// lexicographic u64 order. When the codec is EXHAUSTIVE (`exhaustive`
+// member absent or true), equal word sequences imply equal keys, so the
+// word order is equivalent to the key order. A NON-exhaustive codec
+// (exhaustive == false — the fixed-prefix string codecs) is an
+// order-preserving coarsening: the refine driver (core/wide_sort.hpp)
+// finishes equal-word groups with a stable comparison sort on the true
+// keys, which must then be comparable with operator<. Wide codecs are
+// encode-only (the sorters never decode); `cheap` means encode_word is a
+// few ALU ops / at most one cache line of the key. Built-in wide codecs:
+//   * pair / tuple composites whose packed width exceeds 64 bits
+//     (pair<u64, u64>, tuple<u64, u64, u32>, nested mixes — any
+//     fixed-width exhaustive components, wide components included);
+//   * unsigned/signed __int128 (two words; sign flip on the high word);
+//   * std::string / std::string_view — fixed-prefix words: word w is
+//     bytes [8w, 8w+8) read big-endian, zero-padded past the end
+//     (length-aware: a strict prefix sorts first). 2 words = a 16-byte
+//     prefix by default; ties beyond it (and NUL-vs-end ties) are left to
+//     the driver's comparison fallback, so the sorted result is the TRUE
+//     lexicographic order of unsigned bytes.
+//
 // Specialize key_codec in namespace dovetail to cover your own key type;
-// codec_traits<K> below is what the entry points consult.
+// codec_traits<K> (single-word) and wide_key_traits<K> (uniform word view)
+// below are what the entry points consult.
 #pragma once
 
 #include <array>
@@ -62,6 +91,8 @@
 #include <concepts>
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <tuple>
 #include <type_traits>
 #include <utility>
@@ -75,6 +106,7 @@ enum class codec_kind : std::uint8_t {
   sign_flip,          // signed integers
   float_total_order,  // float/double IEEE total-order transform
   composite,          // pair/tuple bit concatenation
+  string_prefix,      // fixed-prefix byte-string words (non-exhaustive)
   custom,             // user specialization without a `kind` member
 };
 
@@ -84,6 +116,7 @@ inline const char* codec_kind_name(codec_kind k) {
     case codec_kind::sign_flip: return "sign-flip";
     case codec_kind::float_total_order: return "float-total-order";
     case codec_kind::composite: return "composite";
+    case codec_kind::string_prefix: return "string-prefix";
     case codec_kind::custom: return "custom";
   }
   return "?";
@@ -229,7 +262,120 @@ struct codec_traits {
 };
 
 // ---------------------------------------------------------------------------
-// Composite codecs: lexicographic bit concatenation.
+// Wide (multi-word) detection + the uniform word view.
+
+// A key whose codec has the multi-word form (see the header comment).
+template <typename K>
+concept wide_sortable_key = requires(const std::remove_cvref_t<K>& k) {
+  {
+    key_codec<std::remove_cvref_t<K>>::encoded_words
+  } -> std::convertible_to<std::size_t>;
+  {
+    key_codec<std::remove_cvref_t<K>>::encode_word(k, std::size_t{0})
+  } -> std::same_as<std::uint64_t>;
+};
+
+// Any key the front door accepts: single-word (the classic fused /
+// encode-once paths) or multi-word (the wide refine driver).
+template <typename K>
+concept any_sortable_key = sortable_key<K> || wide_sortable_key<K>;
+
+namespace detail {
+
+template <typename C>
+concept codec_has_exhaustive =
+    requires { { C::exhaustive } -> std::convertible_to<bool>; };
+
+}  // namespace detail
+
+// Uniform word-sequence view over EVERY codec-covered key: a single-word
+// codec appears as one word (its zero-extended encoding), a wide codec as
+// its declared word sequence. This is what the refine driver and the
+// composite bit-gather below consume; single-word keys keep using
+// codec_traits through the classic entry points.
+template <any_sortable_key K>
+struct wide_key_traits {
+  using key_t = std::remove_cvref_t<K>;
+  using codec = key_codec<key_t>;
+  // Single-word codecs win when both forms exist (there is no reason to
+  // take the multi-round driver for a key that fits one radix word).
+  static constexpr bool single_word = sortable_key<key_t>;
+  static constexpr std::size_t word_count = [] {
+    if constexpr (sortable_key<key_t>) return std::size_t{1};
+    else return static_cast<std::size_t>(codec::encoded_words);
+  }();
+  static_assert(word_count >= 1);
+  // Total LOGICAL encoded width. The most significant word carries
+  // encoded_bits - 64*(word_count-1) bits, low-aligned and zero-extended;
+  // every other word is full.
+  static constexpr int encoded_bits = [] {
+    if constexpr (sortable_key<key_t>)
+      return codec_traits<key_t>::encoded_bits;
+    else if constexpr (detail::codec_has_bits<codec>)
+      return codec::encoded_bits;
+    else
+      return static_cast<int>(64 * word_count);
+  }();
+  static_assert(encoded_bits > static_cast<int>(64 * (word_count - 1)) &&
+                    encoded_bits <= static_cast<int>(64 * word_count),
+                "key_codec<K>::encoded_bits must fit encoded_words words "
+                "with a non-empty most significant word");
+  // Equal word sequences imply equal keys. Single-word codecs are
+  // bijections by contract, hence always exhaustive.
+  static constexpr bool exhaustive = [] {
+    if constexpr (sortable_key<key_t>) return true;
+    else if constexpr (detail::codec_has_exhaustive<codec>)
+      return codec::exhaustive;
+    else
+      return true;
+  }();
+  static constexpr codec_kind kind = [] {
+    if constexpr (sortable_key<key_t>) return codec_traits<key_t>::kind;
+    else if constexpr (detail::codec_has_kind<codec>) return codec::kind;
+    else return codec_kind::custom;
+  }();
+  static constexpr bool cheap = [] {
+    if constexpr (sortable_key<key_t>) return codec_traits<key_t>::cheap;
+    else if constexpr (detail::codec_has_cheap<codec>) return codec::cheap;
+    else return false;
+  }();
+  // Word w, 0 = most significant.
+  static constexpr std::uint64_t word(const key_t& k, std::size_t w) {
+    if constexpr (sortable_key<key_t>)
+      return static_cast<std::uint64_t>(codec::encode(k));
+    else
+      return codec::encode_word(k, w);
+  }
+};
+
+namespace detail {
+
+// Bits [lo, lo+len) of a key's logical encoding (counted from the LSB,
+// len <= 64), low-aligned in a u64 — the gather primitive behind the wide
+// composite codec. Positions at or above encoded_bits read as zero.
+template <any_sortable_key K>
+constexpr std::uint64_t key_bits_slice(const std::remove_cvref_t<K>& k,
+                                       int lo, int len) noexcept {
+  using WT = wide_key_traits<K>;
+  constexpr auto wc = static_cast<int>(WT::word_count);
+  const int wlsb = lo / 64;
+  const int sh = lo % 64;
+  std::uint64_t out = 0;
+  if (wlsb < wc)
+    out = WT::word(k, static_cast<std::size_t>(wc - 1 - wlsb)) >> sh;
+  if (sh != 0 && wlsb + 1 < wc)
+    out |= WT::word(k, static_cast<std::size_t>(wc - 2 - wlsb)) << (64 - sh);
+  return len >= 64 ? out : (out & ((std::uint64_t{1} << len) - 1));
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Composite codecs: lexicographic bit concatenation. Composites at most 64
+// bits wide pack into one unsigned integer (the narrow form below, exactly
+// the PR-4 behaviour); wider composites become multi-word codecs over the
+// same conceptual bit string, so pair<u64, u64> and friends sort through
+// the wide refine driver instead of failing a static_assert.
 
 namespace detail {
 
@@ -243,23 +389,27 @@ constexpr E codec_low_mask() noexcept {
              : static_cast<E>((E{1} << Bits) - 1);
 }
 
+// Narrow iff the packed width fits one word AND every component is a
+// single-word codec (a wide or prefix component forces the wide form,
+// where the fixed-width check below produces the real diagnostic).
+template <typename... Ts>
+inline constexpr bool composite_is_narrow_v =
+    ((wide_key_traits<Ts>::encoded_bits + ...) <= 64) &&
+    (sortable_key<Ts> && ...);
+
 }  // namespace detail
 
-// std::tuple of codec-covered components, first component most
-// significant. Also the engine behind the std::pair codec below.
+namespace detail {
+
+// Narrow form: the whole composite fits one unsigned word (<= 64 bits).
+// First component most significant; round-trip exact.
 template <typename... Ts>
-  requires(sizeof...(Ts) > 0 && (sortable_key<Ts> && ...))
-struct key_codec<std::tuple<Ts...>> {
+struct tuple_codec_narrow {
  private:
   static constexpr std::size_t N = sizeof...(Ts);
   static constexpr std::array<int, N> elem_bits{
       detail::codec_bits_v<Ts>...};
   static constexpr int total_bits = (detail::codec_bits_v<Ts> + ...);
-  static_assert(total_bits <= 64,
-                "key_codec: composite key needs more than 64 encoded bits "
-                "and cannot be packed into one radix key — sort by a prefix "
-                "of the components (then refine), or provide a custom "
-                "key_codec specialization");
   // shifts[i] = number of encoded bits to the right of component i.
   static constexpr std::array<int, N> shifts = [] {
     std::array<int, N> s{};
@@ -305,10 +455,106 @@ struct key_codec<std::tuple<Ts...>> {
   }
 };
 
-// std::pair — forwarded through the tuple codec.
+// Wide form: the same conceptual bit concatenation, delivered as 64-bit
+// words (word 0 most significant) gathered across component boundaries by
+// key_bits_slice. Encode-only, like every wide codec.
+template <typename... Ts>
+struct tuple_codec_wide {
+ private:
+  static constexpr std::size_t N = sizeof...(Ts);
+  // The only genuinely unencodable composites: ones with a component whose
+  // own encoding does not pin down the component value (a fixed-prefix
+  // string codec, or a user codec marked exhaustive = false). Everything
+  // fixed-width concatenates, however wide.
+  static_assert((wide_key_traits<Ts>::exhaustive && ...),
+                "key_codec: composite components must be fixed-width, "
+                "exhaustively encoded keys — a prefix codec (std::string "
+                "and friends) cannot be bit-concatenated; sort by the "
+                "other components and refine, or provide a custom "
+                "key_codec specialization");
+  static constexpr std::array<int, N> elem_bits{
+      wide_key_traits<Ts>::encoded_bits...};
+  static constexpr int total_bits = (wide_key_traits<Ts>::encoded_bits + ...);
+  static constexpr std::array<int, N> shifts = [] {
+    std::array<int, N> s{};
+    int acc = 0;
+    for (std::size_t i = N; i-- > 0;) {
+      s[i] = acc;
+      acc += elem_bits[i];
+    }
+    return s;
+  }();
+
+  // Fast path: every component is a full 64-bit single-word codec
+  // (pair<u64, u64>, tuple of u64/i64/double, ...) — word w IS component
+  // w's encoding, no cross-word bit gathering. This is the hot shape
+  // (the kernels re-derive the radix key per pass on the fused path), so
+  // the distinction is measurable, not cosmetic.
+  static constexpr bool word_aligned =
+      ((sortable_key<Ts> && wide_key_traits<Ts>::encoded_bits == 64) &&
+       ...);
+
+ public:
+  static constexpr std::size_t encoded_words =
+      (static_cast<std::size_t>(total_bits) + 63) / 64;
+  static constexpr int encoded_bits = total_bits;
+  static constexpr codec_kind kind = codec_kind::composite;
+  static constexpr bool cheap = (wide_key_traits<Ts>::cheap && ...);
+  static constexpr bool exhaustive = true;
+
+  static constexpr std::uint64_t encode_word(const std::tuple<Ts...>& t,
+                                             std::size_t w) noexcept {
+    if constexpr (word_aligned) {
+      return encode_aligned(t, w, std::index_sequence_for<Ts...>{});
+    } else {
+      // Bits [blo, blo+64) of the concatenation, blo counted from the
+      // LSB.
+      const int blo = 64 * static_cast<int>(encoded_words - 1 - w);
+      return encode_word_impl(t, blo, std::index_sequence_for<Ts...>{});
+    }
+  }
+
+ private:
+  template <std::size_t... I>
+  static constexpr std::uint64_t encode_aligned(
+      const std::tuple<Ts...>& t, std::size_t w,
+      std::index_sequence<I...>) noexcept {
+    std::uint64_t out = 0;
+    ((I == w
+          ? (out = static_cast<std::uint64_t>(
+                 key_codec<std::remove_cvref_t<Ts>>::encode(std::get<I>(t))),
+             0)
+          : 0),
+     ...);
+    return out;
+  }
+  template <std::size_t... I>
+  static constexpr std::uint64_t encode_word_impl(
+      const std::tuple<Ts...>& t, int blo,
+      std::index_sequence<I...>) noexcept {
+    std::uint64_t out = 0;
+    (..., (out |= component_chunk<I>(t, blo)));
+    return out;
+  }
+  template <std::size_t I>
+  static constexpr std::uint64_t component_chunk(const std::tuple<Ts...>& t,
+                                                 int blo) noexcept {
+    constexpr int s = shifts[I];
+    constexpr int b = elem_bits[I];
+    // Overlap of the component's bit range [s, s+b) with [blo, blo+64),
+    // in component-local coordinates.
+    const int lo = blo > s ? blo - s : 0;
+    const int hi = b < blo + 64 - s ? b : blo + 64 - s;
+    if (hi <= lo) return 0;
+    using C = std::remove_cvref_t<std::tuple_element_t<I, std::tuple<Ts...>>>;
+    const std::uint64_t chunk =
+        detail::key_bits_slice<C>(std::get<I>(t), lo, hi - lo);
+    return chunk << (s + lo - blo);
+  }
+};
+
 template <typename A, typename B>
-  requires(sortable_key<A> && sortable_key<B>)
-struct key_codec<std::pair<A, B>> {
+struct pair_codec_narrow {
  private:
   using tup = key_codec<std::tuple<A, B>>;
 
@@ -325,5 +571,125 @@ struct key_codec<std::pair<A, B>> {
     return {std::get<0>(t), std::get<1>(t)};
   }
 };
+
+template <typename A, typename B>
+struct pair_codec_wide {
+ private:
+  using tup = key_codec<std::tuple<A, B>>;
+
+ public:
+  static constexpr std::size_t encoded_words = tup::encoded_words;
+  static constexpr int encoded_bits = tup::encoded_bits;
+  static constexpr codec_kind kind = codec_kind::composite;
+  static constexpr bool cheap = tup::cheap;
+  static constexpr bool exhaustive = true;
+  static constexpr std::uint64_t encode_word(const std::pair<A, B>& p,
+                                             std::size_t w) noexcept {
+    return tup::encode_word(std::tuple<A, B>(p.first, p.second), w);
+  }
+};
+
+}  // namespace detail
+
+// std::tuple of codec-covered components, first component most
+// significant; narrow (one packed word) when the total fits 64 bits,
+// multi-word otherwise. Also the engine behind the std::pair codec below.
+template <typename... Ts>
+  requires(sizeof...(Ts) > 0 && (any_sortable_key<Ts> && ...))
+struct key_codec<std::tuple<Ts...>>
+    : std::conditional_t<detail::composite_is_narrow_v<Ts...>,
+                         detail::tuple_codec_narrow<Ts...>,
+                         detail::tuple_codec_wide<Ts...>> {};
+
+// std::pair — forwarded through the tuple codec.
+template <typename A, typename B>
+  requires(any_sortable_key<A> && any_sortable_key<B>)
+struct key_codec<std::pair<A, B>>
+    : std::conditional_t<detail::composite_is_narrow_v<A, B>,
+                         detail::pair_codec_narrow<A, B>,
+                         detail::pair_codec_wide<A, B>> {};
+
+// ---------------------------------------------------------------------------
+// 128-bit integers: two-word identity / sign-flip codecs. (Under
+// -std=c++20 strict mode __int128 is not std::integral, so these do not
+// collide with the integer partial specializations above.)
+
+#if defined(__SIZEOF_INT128__)
+
+template <>
+struct key_codec<unsigned __int128> {
+  static constexpr std::size_t encoded_words = 2;
+  static constexpr int encoded_bits = 128;
+  static constexpr codec_kind kind = codec_kind::identity;
+  static constexpr bool cheap = true;
+  static constexpr bool exhaustive = true;
+  static constexpr std::uint64_t encode_word(unsigned __int128 k,
+                                             std::size_t w) noexcept {
+    return w == 0 ? static_cast<std::uint64_t>(k >> 64)
+                  : static_cast<std::uint64_t>(k);
+  }
+};
+
+template <>
+struct key_codec<__int128> {
+  static constexpr std::size_t encoded_words = 2;
+  static constexpr int encoded_bits = 128;
+  static constexpr codec_kind kind = codec_kind::sign_flip;
+  static constexpr bool cheap = true;
+  static constexpr bool exhaustive = true;
+  static constexpr std::uint64_t sign_bit = std::uint64_t{1} << 63;
+  static constexpr std::uint64_t encode_word(__int128 k,
+                                             std::size_t w) noexcept {
+    const auto u = static_cast<unsigned __int128>(k);
+    return w == 0 ? (static_cast<std::uint64_t>(u >> 64) ^ sign_bit)
+                  : static_cast<std::uint64_t>(u);
+  }
+};
+
+#endif  // __SIZEOF_INT128__
+
+// ---------------------------------------------------------------------------
+// Byte strings: fixed-prefix wide codec. Word w is bytes [8w, 8w+8) of the
+// string read big-endian (first byte most significant), zero-padded past
+// the end — an order-preserving coarsening of lexicographic order over
+// UNSIGNED bytes: s < t implies words(s) <= words(t), because the zero pad
+// is the minimum byte and a strict prefix therefore never encodes above
+// its extension. NOT exhaustive: strings that agree on the whole prefix
+// (or differ only by trailing NUL bytes inside it) share an encoding, and
+// the refine driver resolves them with a stable comparison sort on the
+// true keys — so dovetail::sort on strings produces the full
+// lexicographic order, with the radix engine doing the first
+// 8*Words bytes of the work.
+template <std::size_t Words>
+struct string_prefix_codec {
+  static_assert(Words >= 1);
+  static constexpr std::size_t encoded_words = Words;
+  static constexpr int encoded_bits = static_cast<int>(64 * Words);
+  static constexpr codec_kind kind = codec_kind::string_prefix;
+  static constexpr bool cheap = true;
+  static constexpr bool exhaustive = false;
+  static constexpr std::uint64_t encode_word(std::string_view s,
+                                             std::size_t w) noexcept {
+    const std::size_t base = 8 * w;
+    std::uint64_t out = 0;
+    for (std::size_t j = 0; j < 8; ++j) {
+      const std::size_t i = base + j;
+      out = (out << 8) |
+            (i < s.size() ? static_cast<unsigned char>(s[i]) : 0u);
+    }
+    return out;
+  }
+};
+
+// How many prefix words the std::string / std::string_view codecs use: 2
+// words = a 16-byte radix prefix. Wider prefixes are available by sorting
+// through a string_prefix_codec<N> specialization of your own key type.
+inline constexpr std::size_t kStringPrefixWords = 2;
+
+template <>
+struct key_codec<std::string> : string_prefix_codec<kStringPrefixWords> {};
+template <>
+struct key_codec<std::string_view>
+    : string_prefix_codec<kStringPrefixWords> {};
 
 }  // namespace dovetail

@@ -83,6 +83,14 @@ struct sort_stats {
   std::atomic<std::uint64_t> entry_point{0};
   std::atomic<std::uint64_t> codec_kind_id{0};
   std::atomic<std::uint64_t> codec_encoded_bits{0};
+  // Wide-key refine driver (wide_sort.hpp) snapshots, last-write-wins like
+  // the codec fields: refinement rounds run beyond the word-0 pass (the
+  // final comparison tie-break round of a non-exhaustive codec included)
+  // and the total number of equal-prefix segments those rounds refined.
+  // Both stay 0 for single-word keys and for wide inputs whose word-0 sort
+  // already separated every key.
+  std::atomic<std::uint64_t> refine_rounds{0};
+  std::atomic<std::uint64_t> wide_segments{0};
 
   // --- Timing / throughput (bench harness, dtsort_cli) ---
   // Wall-clock totals for whole-sort runs attributed to this stats object.
@@ -143,6 +151,8 @@ struct sort_stats {
     entry_point = 0;
     codec_kind_id = 0;
     codec_encoded_bits = 0;
+    refine_rounds = 0;
+    wide_segments = 0;
     timed_runs = 0;
     timed_ns = 0;
     timed_records = 0;

@@ -1,0 +1,460 @@
+// Segmented-MSD refine driver for wide (multi-word) keys — the layer that
+// lifts the front door's 64-bit encoded-key ceiling.
+//
+// A key wider than one radix word (key_codec.hpp's multi-word form:
+// pair<u64, u64>, __int128, fixed-prefix strings, >64-bit composites) is a
+// lexicographic sequence of u64 words. Multi-round distribution over such
+// words is the classic answer in the multicore integer-sorting literature
+// (Gerbessiotis, "Integer sorting on multicores"); the paper's DTSort
+// already embodies the per-word half of it — distribute on high digits,
+// recurse within equal groups. This driver stacks that idea one level up:
+//
+//   1. Sort the whole array by word 0 through the EXISTING front door
+//      (detail::sort_unsigned): the input sketch, the dispatch policy and
+//      every kernel apply unchanged, per word.
+//   2. Split into maximal equal-word segments. Only segments with >= 2
+//      records survive; a word-0 pass that separates every key (the common
+//      case for hashed high words) ends the sort right here.
+//   3. Refine each segment on the next word — large segments go back
+//      through the front door one at a time (each call is internally
+//      parallel, and serialising them honours the one-in-flight-sort-per-
+//      workspace contract of record_buffer); segments at or below
+//      dispatch_policy::wide_segment_base_case finish with ONE stable
+//      comparison sort over all remaining words, in parallel across
+//      segments. Repeat per word.
+//   4. Non-exhaustive codecs (the fixed-prefix string codecs) still owe a
+//      tie-break: segments equal on every word get a stable comparison
+//      sort on the TRUE keys, so dovetail::sort on strings returns full
+//      lexicographic order, not just prefix order.
+//
+// Stability: every pass is stable and confined to one segment, so the
+// whole sort is stable. Scratch: the segment tables and the encode-once
+// (encoded words, index) record array lease workspace slabs — warm calls
+// allocate nothing from the workspace. The refine work lands in sort_stats as
+// refine_rounds / wide_segments snapshots.
+//
+// This header is included from the bottom of auto_sort.hpp (which forward-
+// declares the entry helpers defined here); including either header gives
+// you both, and dovetail::sort / sort_by_key / rank accept wide keys
+// transparently.
+#pragma once
+
+#include "dovetail/core/auto_sort.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <span>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "dovetail/core/key_codec.hpp"
+#include "dovetail/core/sort_stats.hpp"
+#include "dovetail/core/workspace.hpp"
+#include "dovetail/parallel/parallel_for.hpp"
+
+namespace dovetail {
+
+namespace detail {
+
+// A half-open segment [lo, hi) of the array being refined. A plain struct
+// (not std::pair, which libstdc++ makes non-trivially-copyable) so the
+// segment tables can live in workspace slabs.
+struct wide_seg {
+  std::size_t lo;
+  std::size_t hi;
+};
+
+// Stable sort for the comparison-finished segments: insertion sort below
+// the allocation-free threshold (thousands of tiny segments finish per
+// round; std::stable_sort's temporary buffer would be malloc churn),
+// std::stable_sort above it — preceded by one linear sortedness scan,
+// because the large residual segments of duplicate-heavy inputs are
+// usually runs of EQUAL keys, already in stable order, and n comparisons
+// beat n log n comparisons that all answer "false".
+template <typename Rec, typename Less>
+void stable_segment_sort(std::span<Rec> a, const Less& less) {
+  if (a.size() <= 32) {
+    for (std::size_t i = 1; i < a.size(); ++i) {
+      Rec x = std::move(a[i]);
+      std::size_t j = i;
+      for (; j > 0 && less(x, a[j - 1]); --j) a[j] = std::move(a[j - 1]);
+      a[j] = std::move(x);
+    }
+  } else {
+    for (std::size_t i = 1; i < a.size(); ++i) {
+      if (less(a[i], a[i - 1])) {
+        std::stable_sort(a.begin(), a.end(), less);
+        return;
+      }
+    }
+  }
+}
+
+// Append the maximal runs of equal word `w` within [lo, hi) — already
+// sorted by that word — that have >= 2 records to out[nout...]; returns
+// the new count. Cut positions land in the workspace-leased `cut_scratch`
+// (capacity >= hi - lo) via a chunked count-then-emit scan, so the hot
+// zero-refinement case (word 0 separates nearly every key) costs no heap
+// traffic proportional to n; the only per-call allocation is one
+// O(workers) block-count vector.
+template <typename Rec, typename WordOf>
+std::size_t append_word_runs(std::span<const Rec> a, std::size_t lo,
+                             std::size_t hi, std::size_t w,
+                             const WordOf& word_of,
+                             std::span<std::size_t> cut_scratch,
+                             std::span<wide_seg> out, std::size_t nout) {
+  const std::size_t n = hi - lo;
+  std::size_t ncuts = 0;
+  if (n >= 2) {
+    const std::size_t nblocks =
+        n <= 8192 ? 1
+                  : std::min<std::size_t>(
+                        8 * static_cast<std::size_t>(par::num_workers()),
+                        (n + 8191) / 8192);
+    const std::size_t bsize = (n + nblocks - 1) / nblocks;
+    const auto block_range = [&](std::size_t b) {
+      return wide_seg{lo + std::max<std::size_t>(1, b * bsize),
+                      lo + std::min(n, (b + 1) * bsize)};
+    };
+    std::vector<std::size_t> counts(nblocks + 1, 0);
+    par::parallel_for(
+        0, nblocks,
+        [&](std::size_t b) {
+          const auto [plo, phi] = block_range(b);
+          std::size_t c = 0;
+          for (std::size_t p = plo; p < phi; ++p)
+            if (word_of(a[p - 1], w) != word_of(a[p], w)) ++c;
+          counts[b + 1] = c;
+        },
+        1);
+    for (std::size_t b = 0; b < nblocks; ++b) counts[b + 1] += counts[b];
+    par::parallel_for(
+        0, nblocks,
+        [&](std::size_t b) {
+          const auto [plo, phi] = block_range(b);
+          std::size_t at = counts[b];
+          for (std::size_t p = plo; p < phi; ++p)
+            if (word_of(a[p - 1], w) != word_of(a[p], w))
+              cut_scratch[at++] = p;
+        },
+        1);
+    ncuts = counts[nblocks];
+  }
+  std::size_t prev = lo;
+  const auto flush = [&](std::size_t end) {
+    if (end - prev >= 2) out[nout++] = {prev, end};
+    prev = end;
+  };
+  for (std::size_t i = 0; i < ncuts; ++i) flush(cut_scratch[i]);
+  flush(hi);
+  return nout;
+}
+
+// The driver core. `word_of(rec, w)` yields word w of a record's key;
+// `sort_seg(subspan, w)` stably sorts a segment by word w (the front-door
+// wrapper); `tie_less` is the true-key order, consulted only when
+// `exhaustive` is false. Precondition of the codec contract: key order
+// implies lexicographic word order (coarsening), so within an equal-prefix
+// segment tie_less alone is a refinement of every remaining word.
+template <typename Rec, typename WordOf, typename SortSeg, typename TieLess>
+void wide_refine(std::span<Rec> data, std::size_t word_count,
+                 bool exhaustive, std::size_t base_case,
+                 const WordOf& word_of, const SortSeg& sort_seg,
+                 const TieLess& tie_less, sort_workspace& ws,
+                 sort_stats* stats) {
+  const std::size_t n = data.size();
+  std::uint64_t rounds = 0;
+  std::uint64_t segments = 0;
+  const auto note = [&] {
+    if (stats != nullptr) {
+      stats->refine_rounds.store(rounds, std::memory_order_relaxed);
+      stats->wide_segments.store(segments, std::memory_order_relaxed);
+    }
+  };
+  sort_seg(data, std::size_t{0});  // word 0: the full front-door dispatch
+  if (n < 2 || (word_count <= 1 && exhaustive)) {
+    note();
+    return;
+  }
+
+  // Segment tables: disjoint segments of >= 2 records, so at most n/2;
+  // plus the cut-position scratch for the split scans (< n cuts).
+  const std::size_t seg_cap = n / 2 + 1;
+  std::span<wide_seg> cur, next;
+  std::span<std::size_t> cut_scratch;
+  sort_workspace::lease cur_lease =
+      ws.acquire_array<wide_seg>(seg_cap, cur, stats);
+  sort_workspace::lease next_lease =
+      ws.acquire_array<wide_seg>(seg_cap, next, stats);
+  sort_workspace::lease cut_lease =
+      ws.acquire_array<std::size_t>(n, cut_scratch, stats);
+  std::size_t ncur =
+      append_word_runs(std::span<const Rec>(data.data(), n), 0, n, 0,
+                       word_of, cut_scratch, cur, 0);
+
+  const auto seg_granularity = [](std::size_t count) {
+    return std::max<std::size_t>(
+        1, count / (8 * static_cast<std::size_t>(par::num_workers())));
+  };
+
+  for (std::size_t w = 1; w < word_count && ncur > 0; ++w) {
+    ++rounds;
+    segments += ncur;
+    // Small segments: one stable comparison sort finishes ALL remaining
+    // words (and the true-key tie-break when the codec is a prefix), in
+    // parallel across segments; they never re-enter the refinement.
+    // Words are compared first even for prefix codecs — word reads are a
+    // cached array access on the encode-once path, while tie_less may
+    // chase a pointer into variable-length key storage; the coarsening
+    // contract makes (words, then tie) equal to the true key order.
+    const auto finish_less = [&](const Rec& a, const Rec& b) {
+      for (std::size_t j = w; j < word_count; ++j) {
+        const std::uint64_t wa = word_of(a, j);
+        const std::uint64_t wb = word_of(b, j);
+        if (wa != wb) return wa < wb;
+      }
+      return exhaustive ? false : tie_less(a, b);
+    };
+    par::parallel_for(
+        0, ncur,
+        [&](std::size_t i) {
+          const auto [lo, hi] = cur[i];
+          if (hi - lo <= base_case)
+            stable_segment_sort(data.subspan(lo, hi - lo), finish_less);
+        },
+        seg_granularity(ncur));
+    // Large segments: back through the front door, one at a time (each
+    // call parallelises internally), then split on the word just sorted.
+    std::size_t nnext = 0;
+    for (std::size_t i = 0; i < ncur; ++i) {
+      const auto [lo, hi] = cur[i];
+      if (hi - lo <= base_case) continue;
+      sort_seg(data.subspan(lo, hi - lo), w);
+      nnext = append_word_runs(std::span<const Rec>(data.data(), n), lo, hi,
+                               w, word_of, cut_scratch, next, nnext);
+    }
+    std::swap(cur, next);
+    ncur = nnext;
+  }
+
+  // Residual segments are equal on every word. An exhaustive codec is done
+  // (equal words == equal keys); a prefix codec owes the true-key
+  // tie-break. Segments here share their whole prefix, so each is one
+  // sequential comparison sort — parallel across segments only (full MSD
+  // tie-break recursion beyond the prefix is the remaining ROADMAP item).
+  if (ncur > 0 && !exhaustive) {
+    ++rounds;
+    segments += ncur;
+    par::parallel_for(
+        0, ncur,
+        [&](std::size_t i) {
+          const auto [lo, hi] = cur[i];
+          stable_segment_sort(data.subspan(lo, hi - lo), tie_less);
+        },
+        seg_granularity(ncur));
+  }
+  note();
+}
+
+// Run the refine driver with every segment sorted through the adaptive
+// front door (sort_unsigned keyed on word_of), returning the word-0
+// dispatch's kernel — the shared scaffolding of the fused and
+// encode-once paths below.
+template <typename Rec, typename WordOf, typename TieLess>
+sort_kernel refine_through_front_door(std::span<Rec> data,
+                                      std::size_t word_count,
+                                      bool exhaustive, const WordOf& word_of,
+                                      const TieLess& tie_less,
+                                      const auto_sort_options& opt,
+                                      sort_workspace& ws) {
+  sort_kernel root = sort_kernel::std_sort;
+  bool first = true;
+  // chosen_kernel and the sketch_* fields are last-write-wins snapshots,
+  // so the per-segment dispatches of later rounds would leave them
+  // describing the LAST refined segment. The wide contract is that they
+  // describe the ROOT (word-0, whole-input) dispatch — the kernel this
+  // function returns — so the word-0 values are captured here and
+  // restored after the refine rounds.
+  std::atomic<std::uint64_t> sort_stats::*const snap_fields[] = {
+      &sort_stats::chosen_kernel,          &sort_stats::sketch_key_bits,
+      &sort_stats::sketch_distinct_permille, &sort_stats::sketch_top_permille,
+      &sort_stats::sketch_desc_permille,   &sort_stats::sketch_heavy_keys,
+      &sort_stats::sketch_runs};
+  constexpr std::size_t kNumSnap = std::size(snap_fields);
+  std::uint64_t snap[kNumSnap] = {};
+  const auto sort_seg = [&](std::span<Rec> seg, std::size_t w) {
+    const sort_kernel k = sort_unsigned(
+        seg, [&word_of, w](const Rec& r) { return word_of(r, w); }, opt);
+    if (first) {
+      root = k;
+      first = false;
+      if (opt.stats != nullptr)
+        for (std::size_t f = 0; f < kNumSnap; ++f)
+          snap[f] = (opt.stats->*snap_fields[f])
+                        .load(std::memory_order_relaxed);
+    }
+  };
+  wide_refine(data, word_count, exhaustive,
+              opt.policy.wide_segment_base_case, word_of, sort_seg,
+              tie_less, ws, opt.stats);
+  if (opt.stats != nullptr && !first)
+    for (std::size_t f = 0; f < kNumSnap; ++f)
+      (opt.stats->*snap_fields[f]).store(snap[f],
+                                         std::memory_order_relaxed);
+  return root;
+}
+
+// ---------------------------------------------------------------------------
+// Entry helpers wired from the public front door (auto_sort.hpp forward-
+// declares these and branches to them for wide key types).
+
+// Stable sorted permutation of [0, n) under the wide keys key_at(i).
+// One workspace-leased array of (ALL encoded words, index) records: every
+// word is materialised up front with one sequential read of each key, so
+// the refine rounds and the word half of every comparison run over a
+// cache-resident array — the true key is touched again only by a prefix
+// codec's tie-break and by the caller's final gather. emit(pos, src)
+// receives the permutation. The shared machinery behind the wide
+// sort_by_key / rank / non-trivially-copyable sort paths.
+template <typename K, typename KeyAt, typename Emit>
+sort_kernel wide_ranked_permutation(std::size_t n, const KeyAt& key_at,
+                                    const auto_sort_options& opt,
+                                    sort_workspace& ws, const Emit& emit) {
+  using WT = wide_key_traits<std::remove_cvref_t<K>>;
+  constexpr std::size_t W = WT::word_count;
+  struct wrec {
+    std::uint64_t word[W];
+    std::uint64_t idx;
+  };
+  std::span<wrec> recs;
+  sort_workspace::lease rl = ws.acquire_array<wrec>(n, recs, opt.stats);
+  par::parallel_for(0, n, [&](std::size_t i) {
+    auto&& k = key_at(i);
+    for (std::size_t w = 0; w < W; ++w) recs[i].word[w] = WT::word(k, w);
+    recs[i].idx = static_cast<std::uint64_t>(i);
+  });
+  const auto word_of = [](const wrec& p, std::size_t w) {
+    return p.word[w];
+  };
+  const auto tie = [&](const wrec& a, const wrec& b) {
+    if constexpr (WT::exhaustive) {
+      (void)a;
+      (void)b;
+      return false;
+    } else {
+      return key_at(a.idx) < key_at(b.idx);
+    }
+  };
+  const sort_kernel root = refine_through_front_door(
+      recs, W, WT::exhaustive, word_of, tie, opt, ws);
+  par::parallel_for(0, n, [&](std::size_t i) {
+    emit(i, static_cast<std::size_t>(recs[i].idx));
+  });
+  return root;
+}
+
+template <typename Rec, typename KeyFn>
+sort_kernel sort_wide(std::span<Rec> data, const KeyFn& key,
+                      const auto_sort_options& opt) {
+  using K =
+      std::remove_cvref_t<std::invoke_result_t<const KeyFn&, const Rec&>>;
+  using WT = wide_key_traits<K>;
+  note_entry(opt.stats, sort_entry::sort, WT::kind, WT::encoded_bits);
+  sort_workspace local_ws;
+  sort_workspace& ws = opt.workspace != nullptr ? *opt.workspace : local_ws;
+  auto_sort_options inner = opt;
+  inner.workspace = &ws;
+  if constexpr (std::is_trivially_copyable_v<Rec> && WT::cheap) {
+    // Fused: records are scattered as-is, each word pass re-derives its
+    // radix key from the record — no extra memory beyond the front door's
+    // own scratch.
+    const auto word_of = [&key](const Rec& r, std::size_t w) {
+      return WT::word(key(r), w);
+    };
+    const auto tie = [&key](const Rec& a, const Rec& b) {
+      if constexpr (WT::exhaustive) {
+        (void)a;
+        (void)b;
+        return false;
+      } else {
+        return key(a) < key(b);
+      }
+    };
+    return refine_through_front_door(data, WT::word_count, WT::exhaustive,
+                                     word_of, tie, inner, ws);
+  } else {
+    // Encode-once shape: sort (encoded words, index) records, then gather
+    // once — the only route for non-trivially-copyable records
+    // (std::string and friends). The gather MOVES each record (emit is a
+    // permutation, so every source is consumed exactly once, and
+    // write_back overwrites every slot afterwards) — a string never pays
+    // a heap copy for being sorted.
+    const std::size_t n = data.size();
+    scratch_array<Rec> tmp(n, ws, opt.stats);
+    const std::span<Rec> t = tmp.get();
+    const sort_kernel k = wide_ranked_permutation<K>(
+        n,
+        [&](std::size_t i) -> decltype(auto) { return key(data[i]); },
+        inner, ws, [&](std::size_t pos, std::size_t src) {
+          t[pos] = std::move(data[src]);
+        });
+    write_back(t, data);
+    return k;
+  }
+}
+
+template <typename K, typename V>
+sort_kernel sort_by_key_wide(std::span<K> keys, std::span<V> values,
+                             const auto_sort_options& opt) {
+  using traits = wide_key_traits<K>;
+  const std::size_t n = keys.size();
+  note_entry(opt.stats, sort_entry::sort_by_key, traits::kind,
+             traits::encoded_bits);
+  sort_workspace local_ws;
+  sort_workspace& ws = opt.workspace != nullptr ? *opt.workspace : local_ws;
+  auto_sort_options inner = opt;
+  inner.workspace = &ws;
+  scratch_array<K> tk(n, ws, opt.stats);
+  scratch_array<V> tv(n, ws, opt.stats);
+  const std::span<K> sk = tk.get();
+  const std::span<V> sv = tv.get();
+  // The gather moves (see sort_wide): each source index is consumed once
+  // and both arrays are fully overwritten by the write_back below.
+  const sort_kernel k = wide_ranked_permutation<K>(
+      n, [&](std::size_t i) -> const K& { return keys[i]; }, inner, ws,
+      [&](std::size_t pos, std::size_t src) {
+        sk[pos] = std::move(keys[src]);
+        sv[pos] = std::move(values[src]);
+      });
+  write_back(sk, keys);
+  write_back(sv, values);
+  return k;
+}
+
+template <typename Rec, typename KeyFn>
+std::vector<index_t> rank_wide(std::span<Rec> data, const KeyFn& key,
+                               const auto_sort_options& opt) {
+  using R = std::remove_const_t<Rec>;
+  using K =
+      std::remove_cvref_t<std::invoke_result_t<const KeyFn&, const R&>>;
+  using traits = wide_key_traits<K>;
+  const std::size_t n = data.size();
+  note_entry(opt.stats, sort_entry::rank, traits::kind,
+             traits::encoded_bits);
+  sort_workspace local_ws;
+  sort_workspace& ws = opt.workspace != nullptr ? *opt.workspace : local_ws;
+  auto_sort_options inner = opt;
+  inner.workspace = &ws;
+  std::vector<index_t> out(n);
+  wide_ranked_permutation<K>(
+      n, [&](std::size_t i) -> decltype(auto) { return key(data[i]); },
+      inner, ws, [&](std::size_t pos, std::size_t src) { out[pos] = src; });
+  return out;
+}
+
+}  // namespace detail
+
+}  // namespace dovetail

@@ -164,6 +164,19 @@ class sort_workspace {
     return lease(this, p, cap, cls);
   }
 
+  // acquire() + carve() in one step: check out a slab sized for `count`
+  // elements of T and hand back both the lease (which owns the slab) and
+  // the typed span. The wide refine driver's segment tables and the
+  // encode-once (key, index) pair arrays are this shape: one lease, one
+  // array, nothing else carved from the slab.
+  template <typename T>
+  [[nodiscard]] lease acquire_array(std::size_t count, std::span<T>& out,
+                                    sort_stats* stats = nullptr) {
+    lease l = acquire(count * sizeof(T), stats);
+    out = l.template carve<T>(count);
+    return l;
+  }
+
   // The ping-pong record buffer: one dedicated arena per workspace, grown
   // monotonically and reused by every subsequent sort whose footprint fits.
   // NOT thread-safe — one in-flight sort per workspace.

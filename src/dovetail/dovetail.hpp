@@ -10,10 +10,12 @@
 // surface layer by layer.
 #pragma once
 
-// Layer 4 — adaptive front door + typed keys.
+// Layer 4 — adaptive front door + typed keys (wide multi-word keys
+// included; wide_sort.hpp rides in with auto_sort.hpp).
 #include "dovetail/core/auto_sort.hpp"
 #include "dovetail/core/input_sketch.hpp"
 #include "dovetail/core/key_codec.hpp"
+#include "dovetail/core/wide_sort.hpp"
 
 // Layer 3 — core algorithms.
 #include "dovetail/core/counting_sort.hpp"

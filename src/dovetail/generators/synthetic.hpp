@@ -328,4 +328,90 @@ std::vector<tkv<T>> generate_typed_records(const distribution& d,
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Wide-key generation (the wide families of core/wide_sort.hpp): the u64
+// frequency stream mapped INJECTIVELY into >64-bit domains, so the
+// family's duplicate structure carries over unchanged. `hi_bits` controls
+// how much of the stream's entropy reaches the most significant encoded
+// word: word 0 is a hash of the value's top hi_bits bits, so ~2^(64 -
+// hi_bits) distinct stream values share each word-0 value and the refine
+// driver must actually recurse into equal-prefix segments (hi_bits = 0
+// makes word 0 constant — one all-equal top-level segment; 64 separates
+// every key at word 0 — singleton segments, no refinement). The low word
+// is a bijective hash of the full value, which keeps the map injective.
+
+template <typename K>
+K wide_key_from(std::uint64_t u, int hi_bits = 16) {
+  const std::uint64_t top =
+      hi_bits >= 64 ? u : hi_bits <= 0 ? 0 : (u >> (64 - hi_bits));
+  const std::uint64_t hi = par::hash64(top + 1);
+  const std::uint64_t lo = par::hash64(u + 0x9E37u);
+  if constexpr (std::is_same_v<K,
+                               std::pair<std::uint64_t, std::uint64_t>>) {
+    return {hi, lo};
+  } else {
+#if defined(__SIZEOF_INT128__)
+    static_assert(std::is_same_v<K, unsigned __int128>,
+                  "wide_key_from: unsupported wide key domain");
+    return (static_cast<unsigned __int128>(hi) << 64) | lo;
+#else
+    static_assert(sizeof(K) == 0, "wide_key_from: no 128-bit integer type");
+#endif
+  }
+}
+
+// (wide key, value = input index) records — the stability witness shape
+// for the wide entry points. K is pair<u64, u64> or unsigned __int128.
+template <typename K>
+std::vector<tkv<K>> generate_wide_records(const distribution& d,
+                                          std::size_t n,
+                                          std::uint64_t seed = 1,
+                                          int hi_bits = 16) {
+  std::vector<tkv<K>> out(n);
+  par::parallel_for(0, n, [&](std::size_t i) {
+    out[i].key = wide_key_from<K>(make_key(d, seed, i, n, 64), hi_bits);
+    out[i].value = static_cast<std::uint32_t>(i);
+  });
+  return out;
+}
+
+// String keys with the same injective-map discipline, shaped to exercise
+// every stage of the fixed-prefix codec (key_codec.hpp):
+//   bytes 0-7   "key-XXX-" — a tag from the value's top `tag_bits` bits,
+//               so word 0 discriminates only coarsely (default 2^12
+//               distinct word-0 values);
+//   bytes 8-23  16 hex digits of the full value — injective; bytes 16-23
+//               lie BEYOND the 16-byte prefix, so values sharing their
+//               top 32 bits tie on the whole prefix and exercise the
+//               driver's comparison tie-break;
+//   tail        0-4 extra characters (value-dependent), so equal-prefix
+//               groups mix lengths.
+inline std::string string_key_from(std::uint64_t u, int tag_bits = 12) {
+  constexpr char hexd[] = "0123456789abcdef";
+  std::string s;
+  s.reserve(28);
+  s += "key-";
+  const std::uint64_t tag = tag_bits <= 0 ? 0 : u >> (64 - tag_bits);
+  for (int sh = 8; sh >= 0; sh -= 4)
+    s += hexd[(tag >> sh) & 0xF];
+  s += '-';
+  for (int sh = 60; sh >= 0; sh -= 4)
+    s += hexd[(u >> sh) & 0xF];
+  const std::size_t tail = u % 5;
+  for (std::size_t t = 0; t < tail; ++t)
+    s += static_cast<char>('a' + ((u >> (4 * t)) & 0xF));
+  return s;
+}
+
+inline std::vector<std::string> generate_string_keys(const distribution& d,
+                                                     std::size_t n,
+                                                     std::uint64_t seed = 1,
+                                                     int tag_bits = 12) {
+  std::vector<std::string> out(n);
+  par::parallel_for(0, n, [&](std::size_t i) {
+    out[i] = string_key_from(make_key(d, seed, i, n, 64), tag_bits);
+  });
+  return out;
+}
+
 }  // namespace dovetail::gen

@@ -2,7 +2,10 @@
 // build an input by mixing distribution fragments (sorted runs, constant
 // runs, random blocks, bit-patterned keys), pick random-but-valid sort
 // options, and compare DovetailSort byte-for-byte against
-// std::stable_sort. Every failure is reproducible from the seed.
+// std::stable_sort. Every failure is reproducible from the seed. The wide
+// arm (FuzzDifferentialWide) runs the same discipline over 128-bit keys
+// through dovetail::sort's refine-by-segment driver, mixing chunks whose
+// word-0 entropy ranges from constant to fully random.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -10,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "dovetail/core/auto_sort.hpp"
 #include "dovetail/core/dovetail_sort.hpp"
 #include "dovetail/parallel/random.hpp"
 #include "dovetail/util/record.hpp"
@@ -97,6 +101,94 @@ TEST_P(FuzzDifferential, MatchesStdStableSort) {
         << "seed=" << seed << " i=" << i << " gamma=" << opt.gamma
         << " theta=" << opt.base_case << " heavy=" << opt.detect_heavy
         << " dtm=" << opt.use_dt_merge << " ovf=" << opt.skip_leading_bits;
+    ASSERT_EQ(v[i].value, ref[i].value)
+        << "stability broken; seed=" << seed << " i=" << i;
+  }
+}
+
+namespace {
+
+// Wide-key fuzz record: a 128-bit key through the refine driver
+// (wide_sort.hpp) with a stability witness.
+struct kv128 {
+  unsigned __int128 key;
+  std::uint32_t value;
+};
+
+// Mixed 128-bit inputs built from the same fragment vocabulary as the
+// 32-bit arm, with the word-0 entropy varying per chunk: constant high
+// words (one giant equal-prefix segment), shared high words (many small
+// segments), fully random keys (singleton segments), ascending runs.
+std::vector<kv128> build_mixed_wide_input(std::uint64_t seed) {
+  const std::size_t n = 20000 + par::rand_range(seed, 1, 60000);
+  std::vector<kv128> v;
+  v.reserve(n);
+  std::uint64_t chunk_id = 1;
+  while (v.size() < n) {
+    const std::size_t len = std::min(
+        n - v.size(),
+        static_cast<std::size_t>(1 + par::rand_range(seed, chunk_id, 4000)));
+    const std::uint64_t kind = par::rand_range(seed, chunk_id + 1000000, 5);
+    const std::uint64_t base = par::rand_at(seed, chunk_id + 2000000);
+    for (std::size_t i = 0; i < len; ++i) {
+      std::uint64_t hi = 0;
+      std::uint64_t lo = 0;
+      switch (kind) {
+        case 0:  // constant key (heavy duplicate across both words)
+          hi = base;
+          lo = base ^ 0xABCD;
+          break;
+        case 1:  // constant high word, random low word (one big segment)
+          hi = base & 0xFFFF;
+          lo = par::rand_at(seed, chunk_id * 131 + i);
+          break;
+        case 2:  // few distinct high words, few low words (nested dups)
+          hi = base + par::rand_range(seed, chunk_id * 137 + i, 3);
+          lo = par::rand_range(seed, chunk_id * 139 + i, 5) * 7919;
+          break;
+        case 3:  // ascending in the low word
+          hi = base & 0xFF;
+          lo = base + i;
+          break;
+        default:  // fully random (word 0 separates almost everything)
+          hi = par::rand_at(seed, chunk_id * 149 + i);
+          lo = par::rand_at(seed, chunk_id * 151 + i);
+          break;
+      }
+      v.push_back({(static_cast<unsigned __int128>(hi) << 64) | lo,
+                   static_cast<std::uint32_t>(v.size())});
+    }
+    ++chunk_id;
+  }
+  return v;
+}
+
+}  // namespace
+
+class FuzzDifferentialWide : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferentialWide,
+                         ::testing::Range(0, 24));
+
+TEST_P(FuzzDifferentialWide, MatchesStdStableSort) {
+  const auto seed = static_cast<std::uint64_t>(7000 + GetParam());
+  auto v = build_mixed_wide_input(seed);
+  auto ref = v;
+  std::stable_sort(ref.begin(), ref.end(),
+                   [](const kv128& a, const kv128& b) {
+                     return a.key < b.key;
+                   });
+  sort_workspace ws;
+  auto_sort_options opt;
+  opt.workspace = &ws;
+  // Odd seeds shrink the comparison base case so the refine rounds go
+  // back through the radix front door instead of finishing by comparison.
+  if (seed % 2 == 1) opt.policy.wide_segment_base_case = 256;
+  dovetail::sort(std::span<kv128>(v),
+                 [](const kv128& r) { return r.key; }, opt);
+  ASSERT_EQ(v.size(), ref.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    ASSERT_TRUE(v[i].key == ref[i].key)
+        << "seed=" << seed << " i=" << i;
     ASSERT_EQ(v[i].value, ref[i].value)
         << "stability broken; seed=" << seed << " i=" << i;
   }

@@ -8,8 +8,8 @@
 //   * exact round trip — decode(encode(k)) == k bit-for-bit (NaN payloads
 //     included) and encode(decode(e)) == e on random encodings;
 //   * composite packing — lexicographic order, smallest-fitting encoded_t,
-//     nesting. (The >64-bit misfit is a compile-time error by design and
-//     is asserted by a comment-documented negative compile check below.)
+//     nesting. (Composites beyond 64 bits become multi-word codecs; their
+//     contracts live in tests/test_wide_sort.cpp.)
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -89,8 +89,8 @@ static_assert(codec_traits<std::pair<float, std::int32_t>>::cheap);
 static_assert(codec_traits<std::int64_t>::kind == codec_kind::sign_flip);
 // Detection: a type with no key_codec specialization is rejected by the
 // concept (not a hard error). A composite that HAS a specialization but
-// does not fit 64 bits is deliberately a hard static_assert instead — see
-// the negative compile check at the bottom of this file.
+// does not fit 64 bits drops out of sortable_key and becomes a multi-word
+// codec instead — see the static_asserts at the bottom of this file.
 static_assert(!sortable_key<std::vector<int>>);
 
 // ---------------------------------------------------------------------------
@@ -320,11 +320,13 @@ TEST(KeyCodecComposite, MixedTupleAndNesting) {
   }
 }
 
-// A composite needing more than 64 encoded bits — pair<u64, u64>,
-// tuple<u8, float, double> (104 bits), ... — is a COMPILE-TIME error with
-// the message "composite key needs more than 64 encoded bits": verified
-// manually (it cannot be a runtime test by construction):
-//   g++ -std=c++20 -Isrc -fsyntax-only -x c++ - <<< \
-//     '#include "dovetail/core/key_codec.hpp"
-//      int main() { (void)dovetail::key_codec<
-//        std::pair<std::uint64_t, std::uint64_t>>::encode({1, 2}); }'
+// Composites needing more than 64 encoded bits — pair<u64, u64>,
+// tuple<u8, float, double> (104 bits), ... — are no longer a compile-time
+// dead-end: they become MULTI-WORD codecs (encoded_words / encode_word)
+// and sort through the wide refine driver. Their word contracts and the
+// remaining genuinely-unencodable static_assert (variable-length
+// components inside a composite) are covered by tests/test_wide_sort.cpp.
+static_assert(!sortable_key<std::pair<std::uint64_t, std::uint64_t>>);
+static_assert(wide_sortable_key<std::pair<std::uint64_t, std::uint64_t>>);
+static_assert(
+    key_codec<std::pair<std::uint64_t, std::uint64_t>>::encoded_words == 2);
