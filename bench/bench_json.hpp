@@ -428,7 +428,9 @@ inline bool parse(const std::string& text, value& out, std::string& err) {
 //         "min_ms" <= "median_ms" <= "max_ms", "stddev_ms" >= 0,
 //         "n": num >= 0, "throughput_mrec_s": num >= 0,
 //         "check": "pass" | "skipped",          // "fail" is a schema error
-//         "labels": object of strings, "stats": object of nums (optional) }
+//         "labels": object of strings ("threads", when present, must be a
+//                   positive decimal integer — the scaling/parallel sweep
+//                   key), "stats": object of nums (optional) }
 //     ]
 //   }
 
@@ -508,6 +510,19 @@ inline bool validate_result_entry(const value& entry, std::string& err,
     if (!v.is_string()) {
       err = name + ": label '" + k + "' is not a string";
       return false;
+    }
+    // The scaling and parallel families key their sweeps on this label;
+    // a non-numeric value would silently fall out of every per-thread
+    // aggregation, so reject it at the gate.
+    if (k == "threads") {
+      const std::string& t = v.as_string();
+      const bool numeric =
+          !t.empty() && t.find_first_not_of("0123456789") == std::string::npos;
+      if (!numeric || t == "0" || t[0] == '0') {
+        err = name + ": label 'threads' must be a positive integer, got '" +
+              t + "'";
+        return false;
+      }
     }
   }
   if (const value* stats = entry.find("stats"); stats != nullptr) {

@@ -33,6 +33,7 @@
 #include "scenarios_codec.hpp"
 #include "scenarios_engine.hpp"
 #include "scenarios_matrix.hpp"
+#include "scenarios_parallel.hpp"
 #include "scenarios_scaling.hpp"
 #include "scenarios_wide.hpp"
 
@@ -177,6 +178,7 @@ int main(int argc, char** argv) {
   dtb::register_auto_scenarios(cfg);
   dtb::register_codec_scenarios(cfg);
   dtb::register_wide_scenarios(cfg);
+  dtb::register_parallel_scenarios(cfg);
 
   std::vector<const dtb::scenario*> selected;
   for (const auto& s : registry.scenarios())
@@ -275,7 +277,9 @@ int main(int argc, char** argv) {
         "codec-soa: sort_by_key + rank vs the AoS wide-record sort), and "
         "the wide-key families (wide-128: u128/pair-u64 keys through the "
         "refine-by-segment driver vs std::stable_sort; wide-str: string "
-        "keys, 16-byte radix prefix + tie-break). Times "
+        "keys, 16-byte radix prefix + tie-break), and the parallel "
+        "families (parallel-auto/codec/wide: the per-call num_threads "
+        "sweep and the workspace_pool refine vs its serial ablation). Times "
         "are medians over the "
         "timed repetitions on a warm workspace; every scenario is "
         "cross-checked (see 'check').",

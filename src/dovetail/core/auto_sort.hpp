@@ -158,6 +158,9 @@ struct kernel_plan {
   sort_kernel kernel = sort_kernel::dtsort;
   int gamma = 0;  // digit width for lsd/dtsort; 0 = the kernel's default
   scatter_strategy scatter = scatter_strategy::automatic;
+  // Workers the kernel runs under (1 = serial; see parallel_crossover_n).
+  // Recorded in sort_stats::chosen_parallelism next to chosen_kernel.
+  int parallelism = 1;
   const char* reason = "";  // the rule that fired (for logs/debugging)
 };
 
@@ -216,6 +219,18 @@ struct dispatch_policy {
   // 32-bit BENCH_suite.json instance outside the duplicate regime. Wider
   // keys default to dtsort (the paper's 64-bit headline, Tab 3 right).
   int lsd_max_key_bits = 32;
+  // Parallelism cap consulted by plan_parallelism(); 0 = every worker the
+  // surrounding scope allows (par::effective_workers(), itself capped by
+  // auto_sort_options::num_threads / sort_options::num_threads).
+  int num_threads = 0;
+  // n at or below this runs the chosen kernel single-threaded even when
+  // more workers are available: below the crossover, fork/join setup, the
+  // per-block counting matrices and the extra cache traffic of a parallel
+  // distribution cost more than they save. Like every threshold here the
+  // default is fitted to the committed baselines (docs/TUNING.md has the
+  // re-derivation recipe and the evidence); the serial/parallel decision
+  // lands in sort_stats::chosen_parallelism, the kernel's twin snapshot.
+  std::size_t parallel_crossover_n = std::size_t{1} << 15;
   // Wide (multi-word) keys only: equal-prefix segments at or below this
   // size finish with one stable comparison sort over the remaining words
   // instead of re-entering the radix front door (wide_sort.hpp). A
@@ -224,6 +239,12 @@ struct dispatch_policy {
   // parallel ACROSS segments — wins on every wide BENCH_wide.json
   // instance.
   std::size_t wide_segment_base_case = std::size_t{1} << 15;
+  // Wide keys only: refine large equal-prefix segments CONCURRENTLY, each
+  // in-flight sort on its own workspace_pool arena (wide_sort.hpp). Off =
+  // the pre-pool behaviour (segments re-enter the front door one at a
+  // time, parallel only inside each call) — kept as an ablation toggle so
+  // the parallel-refine gain stays measurable (bench scenarios_parallel).
+  bool parallel_wide_refine = true;
 
   // The decision tree. `disallow` is a bitmask of sort_kernel values the
   // caller has ruled out (the dispatcher uses it when a cheap-branch
@@ -284,6 +305,19 @@ struct dispatch_policy {
                       ? scatter_strategy::direct
                       : scatter_strategy::automatic;
     }
+    p.parallelism =
+        p.kernel == sort_kernel::std_sort ? 1 : plan_parallelism(s.n);
+  }
+
+  // The serial/parallel half of the dispatch: how many workers should a
+  // sort of n records run under? 1 below the crossover (or for std_sort,
+  // which is sequential regardless), else every worker the scope allows,
+  // capped by this policy's num_threads.
+  [[nodiscard]] int plan_parallelism(std::size_t n) const {
+    if (n <= parallel_crossover_n) return 1;
+    int avail = par::effective_workers();
+    if (num_threads > 0 && num_threads < avail) avail = num_threads;
+    return avail;
   }
 
   [[nodiscard]] std::size_t max_merge_runs(std::size_t n) const {
@@ -321,7 +355,20 @@ struct auto_sort_options {
   dispatch_policy policy{};
   sketch_options sketch{};                // sample/probe budget and seed
   std::uint64_t seed = 42;                // dtsort kernel determinism seed
+  // Per-call parallelism cap, same contract as sort_options::num_threads:
+  // 0 = all scheduler workers; 1 = run the whole call on the calling
+  // thread (exact); 2..p caps forking/granularity decisions while actual
+  // concurrency stays bounded by the shared pool. Applied for the entire
+  // call — sketch, dispatch, kernel, gather passes — and composes with
+  // policy.num_threads and dispatch_policy::parallel_crossover_n (the
+  // dispatcher may still choose FEWER workers than allowed; the choice is
+  // recorded in sort_stats::chosen_parallelism).
+  int num_threads = 0;
   sort_workspace* workspace = nullptr;
+  // Workspace pool for concurrent in-flight sub-sorts (today: the wide-key
+  // refine driver sorting large equal-prefix segments concurrently).
+  // nullptr = workspace_pool::shared(), the process-wide default.
+  workspace_pool* pool = nullptr;
   sort_stats* stats = nullptr;
 };
 
@@ -461,6 +508,15 @@ sort_kernel sort_unsigned(std::span<Rec> data, const KeyFn& key,
   sort_stats* st = opt.stats;
   const std::size_t n = data.size();
 
+  // The per-call cap bounds everything below — sketch, confirmation scans,
+  // kernel — and is what dispatch_policy::plan_parallelism() sees as the
+  // available worker count.
+  const par::scoped_worker_limit worker_cap(opt.num_threads);
+  if (st != nullptr)
+    st->effective_workers.store(
+        static_cast<std::uint64_t>(par::effective_workers()),
+        std::memory_order_relaxed);
+
   const input_sketch sk =
       sketch_input(std::span<const Rec>(data.data(), n), key, opt.sketch);
   if (st != nullptr) {
@@ -484,10 +540,13 @@ sort_kernel sort_unsigned(std::span<Rec> data, const KeyFn& key,
   sort_workspace local_ws;
   sort_workspace& ws =
       opt.workspace != nullptr ? *opt.workspace : local_ws;
-  const auto record_choice = [&](sort_kernel k) {
-    if (st != nullptr)
-      st->chosen_kernel.store(1 + static_cast<std::uint64_t>(k),
+  const auto record_choice = [&](const kernel_plan& p) {
+    if (st != nullptr) {
+      st->chosen_kernel.store(1 + static_cast<std::uint64_t>(p.kernel),
                               std::memory_order_relaxed);
+      st->chosen_parallelism.store(static_cast<std::uint64_t>(p.parallelism),
+                                   std::memory_order_relaxed);
+    }
   };
 
   unsigned disallow = 0;
@@ -499,10 +558,14 @@ sort_kernel sort_unsigned(std::span<Rec> data, const KeyFn& key,
     } else {
       plan = opt.policy.choose(sk, disallow);
     }
+    // Below the crossover the plan says "serial": cap the kernel (and its
+    // confirmation scans) to one worker so the decision is enforced, not
+    // advisory. The cap composes with worker_cap above by taking the min.
+    const par::scoped_worker_limit plan_cap(plan.parallelism);
 
     switch (plan.kernel) {
       case sort_kernel::std_sort: {
-        record_choice(plan.kernel);
+        record_choice(plan);
         std::stable_sort(data.begin(), data.end(),
                          [&](const Rec& x, const Rec& y) {
                            return static_cast<std::uint64_t>(key(x)) <
@@ -531,7 +594,7 @@ sort_kernel sort_unsigned(std::span<Rec> data, const KeyFn& key,
           disallow |= 1U << static_cast<int>(sort_kernel::run_merge);
           continue;
         }
-        record_choice(plan.kernel);
+        record_choice(plan);
         if (runs > 1) {
           std::span<Rec> t = ws.template record_buffer<Rec>(n, st);
           detail::merge_runs(data, key, t, std::move(bounds));
@@ -556,14 +619,14 @@ sort_kernel sort_unsigned(std::span<Rec> data, const KeyFn& key,
           disallow |= 1U << static_cast<int>(sort_kernel::counting);
           continue;
         }
-        record_choice(plan.kernel);
+        record_choice(plan);
         if (n >= 2 && range > 0)
           detail::counting_kernel(data, key, min_key, max_key, ws, st);
         return plan.kernel;
       }
 
       case sort_kernel::lsd: {
-        record_choice(plan.kernel);
+        record_choice(plan);
         baseline::lsd_options lopt;
         if (plan.gamma > 0) lopt.gamma = plan.gamma;
         lopt.scatter = plan.scatter;
@@ -574,7 +637,7 @@ sort_kernel sort_unsigned(std::span<Rec> data, const KeyFn& key,
       }
 
       case sort_kernel::dtsort: {
-        record_choice(plan.kernel);
+        record_choice(plan);
         sort_options dopt;
         dopt.gamma = plan.gamma;  // 0 = dovetail_sort's own auto choice
         dopt.seed = opt.seed;

@@ -294,6 +294,13 @@ void dovetail_sort(std::span<Rec> data, const KeyFn& key,
                    const sort_options& opt = {}) {
   using K =
       std::remove_cvref_t<std::invoke_result_t<const KeyFn&, const Rec&>>;
+  // Honor the per-call parallelism cap for the whole sort, sampling and
+  // distribution included; records the effective count when stats are on.
+  const par::scoped_worker_limit worker_cap(opt.num_threads);
+  if (opt.stats != nullptr)
+    opt.stats->effective_workers.store(
+        static_cast<std::uint64_t>(par::effective_workers()),
+        std::memory_order_relaxed);
   if constexpr (std::is_unsigned_v<K>) {
     detail::dt_sorter<Rec, KeyFn> s(data, key, opt);
     s.run();

@@ -37,6 +37,7 @@
 
 #include "dovetail/core/key_codec.hpp"
 #include "dovetail/core/sampling.hpp"
+#include "dovetail/parallel/primitives.hpp"
 #include "dovetail/parallel/random.hpp"
 #include "dovetail/util/bits.hpp"
 
@@ -187,20 +188,38 @@ input_sketch sketch_input(std::span<const Rec> data, const KeyFn& key,
   for (const std::size_t c : digit_hist)
     s.digit_top_count = std::max(s.digit_top_count, c);
 
-  // Order probes over adjacent pairs at independent positions.
+  // Order probes over adjacent pairs at independent positions. Each probe
+  // is a pure function of (seed, j), so the parallel tally classifies
+  // exactly the pairs the sequential loop would — the counts (and hence
+  // every dispatch decision) are reproducible at any worker count. Like
+  // the sample gather, the probes are latency-bound random reads: the part
+  // of the o(n) pre-work worth spreading across workers.
   if (s.n >= 2) {
     s.probes = std::min(s.n - 1, std::max<std::size_t>(1, opt.max_probes));
-    for (std::size_t j = 0; j < s.probes; ++j) {
-      const auto p = static_cast<std::size_t>(
-          par::rand_range(opt.seed ^ 0x0DDE55AAull, j, s.n - 1));
-      const std::uint64_t a = keyof(data[p]), b = keyof(data[p + 1]);
-      if (a < b)
-        ++s.asc_probes;
-      else if (a == b)
-        ++s.eq_probes;
-      else
-        ++s.desc_probes;
-    }
+    struct tally {
+      std::size_t asc = 0, eq = 0, desc = 0;
+    };
+    const tally t = par::reduce_map(
+        0, s.probes, tally{},
+        [&](std::size_t j) {
+          const auto p = static_cast<std::size_t>(
+              par::rand_range(opt.seed ^ 0x0DDE55AAull, j, s.n - 1));
+          const std::uint64_t a = keyof(data[p]), b = keyof(data[p + 1]);
+          tally one;
+          if (a < b)
+            one.asc = 1;
+          else if (a == b)
+            one.eq = 1;
+          else
+            one.desc = 1;
+          return one;
+        },
+        [](tally x, tally y) {
+          return tally{x.asc + y.asc, x.eq + y.eq, x.desc + y.desc};
+        });
+    s.asc_probes = t.asc;
+    s.eq_probes = t.eq;
+    s.desc_probes = t.desc;
   }
   return s;
   }  // constexpr-else: unsigned keys

@@ -74,6 +74,17 @@ struct sort_options {
   // exist; this isolates the cost of the other steps as in Sec 6.3.
   bool ablate_skip_merge = false;
 
+  // Per-call parallelism cap: at most this many scheduler workers execute
+  // this sort (0 = all workers in the pool). 1 runs the whole call on the
+  // calling thread — exact, via pardo's serial path — which is what N
+  // request threads each sorting their own batch want: parallelism across
+  // calls, none within. Values between 1 and the pool size cap forking and
+  // granularity decisions; actual concurrency stays bounded by the shared
+  // work-stealing pool, which cannot reserve workers per call. The cap is
+  // scoped to the call (par::scoped_worker_limit) and composes with an
+  // enclosing cap by taking the minimum.
+  int num_threads = 0;
+
   // Scatter strategy for every distribution pass (see the enum above).
   // `unstable` would break DTSort's stability guarantee and is treated as
   // `automatic` here; request it only through distribute()/

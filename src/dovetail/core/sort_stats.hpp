@@ -91,6 +91,18 @@ struct sort_stats {
   // already separated every key.
   std::atomic<std::uint64_t> refine_rounds{0};
   std::atomic<std::uint64_t> wide_segments{0};
+  // Parallelism snapshots (last-write-wins like chosen_kernel): the worker
+  // count the dispatcher decided to run the kernel under (1 = it chose the
+  // serial path, e.g. n below dispatch_policy::parallel_crossover_n) and
+  // the workers available under the innermost scoped cap when the engine
+  // last recorded it (par::effective_workers()). Because the planned
+  // parallelism is itself enforced with a scoped limit around the kernel,
+  // a serial-planned sort reports effective_workers == 1 even on a large
+  // pool — the value describes what the executed kernel really had, not
+  // the pool size. chosen_parallelism <= effective_workers always; both 0
+  // until a dispatch records them.
+  std::atomic<std::uint64_t> chosen_parallelism{0};
+  std::atomic<std::uint64_t> effective_workers{0};
 
   // --- Timing / throughput (bench harness, dtsort_cli) ---
   // Wall-clock totals for whole-sort runs attributed to this stats object.
@@ -153,6 +165,8 @@ struct sort_stats {
     codec_encoded_bits = 0;
     refine_rounds = 0;
     wide_segments = 0;
+    chosen_parallelism = 0;
+    effective_workers = 0;
     timed_runs = 0;
     timed_ns = 0;
     timed_records = 0;

@@ -154,17 +154,27 @@ std::size_t append_word_runs(std::span<const Rec> a, std::size_t lo,
 }
 
 // The driver core. `word_of(rec, w)` yields word w of a record's key;
-// `sort_seg(subspan, w)` stably sorts a segment by word w (the front-door
-// wrapper); `tie_less` is the true-key order, consulted only when
-// `exhaustive` is false. Precondition of the codec contract: key order
-// implies lexicographic word order (coarsening), so within an equal-prefix
-// segment tie_less alone is a refinement of every remaining word.
+// `sort_seg(subspan, w, ws)` stably sorts a segment by word w through the
+// front door using workspace `ws` (one in-flight sort per workspace, so
+// concurrent segment sorts each get their own); `tie_less` is the true-key
+// order, consulted only when `exhaustive` is false. Precondition of the
+// codec contract: key order implies lexicographic word order (coarsening),
+// so within an equal-prefix segment tie_less alone is a refinement of
+// every remaining word.
+//
+// `pool` enables concurrent large-segment refinement: when non-null and
+// more than one worker is available, the large segments of a round are
+// sorted in parallel, each in-flight sort on a workspace checked out of
+// the pool (warm after the first round: zero pool-level allocation).
+// nullptr serializes them through the caller's workspace — the pre-pool
+// behaviour, kept for ablation and for 1-worker runs where pool arenas
+// would only duplicate the caller's warm arena.
 template <typename Rec, typename WordOf, typename SortSeg, typename TieLess>
 void wide_refine(std::span<Rec> data, std::size_t word_count,
                  bool exhaustive, std::size_t base_case,
                  const WordOf& word_of, const SortSeg& sort_seg,
                  const TieLess& tie_less, sort_workspace& ws,
-                 sort_stats* stats) {
+                 workspace_pool* pool, sort_stats* stats) {
   const std::size_t n = data.size();
   std::uint64_t rounds = 0;
   std::uint64_t segments = 0;
@@ -174,7 +184,7 @@ void wide_refine(std::span<Rec> data, std::size_t word_count,
       stats->wide_segments.store(segments, std::memory_order_relaxed);
     }
   };
-  sort_seg(data, std::size_t{0});  // word 0: the full front-door dispatch
+  sort_seg(data, std::size_t{0}, ws);  // word 0: full front-door dispatch
   if (n < 2 || (word_count <= 1 && exhaustive)) {
     note();
     return;
@@ -199,6 +209,11 @@ void wide_refine(std::span<Rec> data, std::size_t word_count,
     return std::max<std::size_t>(
         1, count / (8 * static_cast<std::size_t>(par::num_workers())));
   };
+
+  // Indices into `cur` of this round's above-base-case segments: at most
+  // n / base_case entries, so the vector stays tiny next to the O(n)
+  // workspace tables above.
+  std::vector<std::size_t> large;
 
   for (std::size_t w = 1; w < word_count && ncur > 0; ++w) {
     ++rounds;
@@ -226,15 +241,45 @@ void wide_refine(std::span<Rec> data, std::size_t word_count,
             stable_segment_sort(data.subspan(lo, hi - lo), finish_less);
         },
         seg_granularity(ncur));
-    // Large segments: back through the front door, one at a time (each
-    // call parallelises internally), then split on the word just sorted.
+    // Large segments: back through the front door. There are at most
+    // n / base_case of them, so the index list is small even when the
+    // segment table is huge (duplicate-heavy inputs).
+    large.clear();
+    for (std::size_t i = 0; i < ncur; ++i)
+      if (cur[i].hi - cur[i].lo > base_case) large.push_back(i);
     std::size_t nnext = 0;
-    for (std::size_t i = 0; i < ncur; ++i) {
-      const auto [lo, hi] = cur[i];
-      if (hi - lo <= base_case) continue;
-      sort_seg(data.subspan(lo, hi - lo), w);
-      nnext = append_word_runs(std::span<const Rec>(data.data(), n), lo, hi,
-                               w, word_of, cut_scratch, next, nnext);
+    if (pool != nullptr && large.size() > 1 && par::effective_workers() > 1) {
+      // Concurrent in-flight sorts, one pool workspace each (the caller's
+      // `ws` cannot serve them all: one in-flight sort per workspace).
+      // Each segment sort still parallelises internally — work stealing
+      // balances rounds whose segments differ wildly in size. The splits
+      // run as a second phase, sequential in segment order (append order
+      // defines the next round's table, and therefore the output).
+      par::parallel_for(
+          0, large.size(),
+          [&](std::size_t j) {
+            const auto [lo, hi] = cur[large[j]];
+            workspace_pool::handle h = pool->checkout();
+            sort_seg(data.subspan(lo, hi - lo), w, *h);
+          },
+          1);
+      for (const std::size_t i : large) {
+        const auto [lo, hi] = cur[i];
+        nnext = append_word_runs(std::span<const Rec>(data.data(), n), lo,
+                                 hi, w, word_of, cut_scratch, next, nnext);
+      }
+    } else {
+      // Serial: one segment at a time through the caller's warm arena,
+      // splitting each immediately after its sort while its records are
+      // still cache-hot (a deferred split phase re-reads the segment cold
+      // — measurably slower on fat segments). Append order is identical
+      // to the pooled path's, so both schedules produce the same table.
+      for (const std::size_t i : large) {
+        const auto [lo, hi] = cur[i];
+        sort_seg(data.subspan(lo, hi - lo), w, ws);
+        nnext = append_word_runs(std::span<const Rec>(data.data(), n), lo,
+                                 hi, w, word_of, cut_scratch, next, nnext);
+      }
     }
     std::swap(cur, next);
     ncur = nnext;
@@ -282,12 +327,16 @@ sort_kernel refine_through_front_door(std::span<Rec> data,
       &sort_stats::chosen_kernel,          &sort_stats::sketch_key_bits,
       &sort_stats::sketch_distinct_permille, &sort_stats::sketch_top_permille,
       &sort_stats::sketch_desc_permille,   &sort_stats::sketch_heavy_keys,
-      &sort_stats::sketch_runs};
+      &sort_stats::sketch_runs,            &sort_stats::chosen_parallelism,
+      &sort_stats::effective_workers};
   constexpr std::size_t kNumSnap = std::size(snap_fields);
   std::uint64_t snap[kNumSnap] = {};
-  const auto sort_seg = [&](std::span<Rec> seg, std::size_t w) {
+  const auto sort_seg = [&](std::span<Rec> seg, std::size_t w,
+                            sort_workspace& seg_ws) {
+    auto_sort_options seg_opt = opt;
+    seg_opt.workspace = &seg_ws;
     const sort_kernel k = sort_unsigned(
-        seg, [&word_of, w](const Rec& r) { return word_of(r, w); }, opt);
+        seg, [&word_of, w](const Rec& r) { return word_of(r, w); }, seg_opt);
     if (first) {
       root = k;
       first = false;
@@ -297,9 +346,16 @@ sort_kernel refine_through_front_door(std::span<Rec> data,
                         .load(std::memory_order_relaxed);
     }
   };
+  // Pool for the concurrent large-segment sorts: the caller's, else the
+  // process-wide shared pool; disabled entirely (serial pre-pool path)
+  // when the policy's ablation toggle says so.
+  workspace_pool* pool =
+      opt.policy.parallel_wide_refine
+          ? (opt.pool != nullptr ? opt.pool : &workspace_pool::shared())
+          : nullptr;
   wide_refine(data, word_count, exhaustive,
               opt.policy.wide_segment_base_case, word_of, sort_seg,
-              tie_less, ws, opt.stats);
+              tie_less, ws, pool, opt.stats);
   if (opt.stats != nullptr && !first)
     for (std::size_t f = 0; f < kNumSnap; ++f)
       (opt.stats->*snap_fields[f]).store(snap[f],
@@ -363,6 +419,11 @@ sort_kernel sort_wide(std::span<Rec> data, const KeyFn& key,
       std::remove_cvref_t<std::invoke_result_t<const KeyFn&, const Rec&>>;
   using WT = wide_key_traits<K>;
   note_entry(opt.stats, sort_entry::sort, WT::kind, WT::encoded_bits);
+  // The per-call cap must wrap the refine driver and the gather passes,
+  // not just the per-segment sort_unsigned calls (which install their own
+  // nested cap): the refine rounds run between those calls and would
+  // otherwise see the full pool even under num_threads == 1.
+  const par::scoped_worker_limit worker_cap(opt.num_threads);
   sort_workspace local_ws;
   sort_workspace& ws = opt.workspace != nullptr ? *opt.workspace : local_ws;
   auto_sort_options inner = opt;
@@ -413,6 +474,9 @@ sort_kernel sort_by_key_wide(std::span<K> keys, std::span<V> values,
   const std::size_t n = keys.size();
   note_entry(opt.stats, sort_entry::sort_by_key, traits::kind,
              traits::encoded_bits);
+  // Same scope rationale as sort_wide: cover refine + gathers, not just
+  // the nested sort_unsigned calls.
+  const par::scoped_worker_limit worker_cap(opt.num_threads);
   sort_workspace local_ws;
   sort_workspace& ws = opt.workspace != nullptr ? *opt.workspace : local_ws;
   auto_sort_options inner = opt;
@@ -444,6 +508,9 @@ std::vector<index_t> rank_wide(std::span<Rec> data, const KeyFn& key,
   const std::size_t n = data.size();
   note_entry(opt.stats, sort_entry::rank, traits::kind,
              traits::encoded_bits);
+  // Same scope rationale as sort_wide: cover refine + gathers, not just
+  // the nested sort_unsigned calls.
+  const par::scoped_worker_limit worker_cap(opt.num_threads);
   sort_workspace local_ws;
   sort_workspace& ws = opt.workspace != nullptr ? *opt.workspace : local_ws;
   auto_sort_options inner = opt;

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "dovetail/core/sort_stats.hpp"
+#include "dovetail/parallel/scheduler.hpp"
 #include "dovetail/util/bits.hpp"
 
 namespace dovetail {
@@ -252,6 +253,159 @@ class sort_workspace {
   std::atomic<std::uint64_t> allocations_{0};
   std::atomic<std::uint64_t> reuses_{0};
   std::atomic<std::uint64_t> allocated_bytes_{0};
+};
+
+// ---------------------------------------------------------------------------
+// workspace_pool — a bounded pool of sort_workspace arenas for concurrent
+// in-flight sorts.
+//
+// A single sort_workspace serves one sort at a time (its record_buffer is a
+// monotone arena with no internal locking), so any code that wants several
+// sorts in flight — the wide-key refine driver sorting equal-prefix
+// segments concurrently, or N request threads calling dovetail::sort — needs
+// one workspace per concurrent sort. This pool supplies them:
+//
+//   * checkout() claims a parked workspace (lock-free: one atomic exchange
+//     per slot scanned) or, when every slot is empty, creates a fresh one.
+//   * The handle's destructor checks the workspace back in, parking it in an
+//     empty slot (one CAS per slot scanned) so the next checkout reuses its
+//     warm slabs. If every slot is already occupied — more than `capacity`
+//     sorts were in flight — the surplus workspace is destroyed (counted in
+//     discards()).
+//
+// After warm-up, a workload whose concurrency stays within `capacity` does
+// zero pool-level allocation: every checkout is a hit on a warm arena.
+// Workspaces park with their slabs intact, so steady-state sort-internal
+// allocation is zero too (the property test_parallel_sort.cpp pins down).
+//
+// Checkout/checkin are wait-free per slot and never block; the slot array is
+// sized at construction and never grows. Handles must not outlive the pool.
+class workspace_pool {
+ public:
+  // RAII checkout. Dereferences to the leased sort_workspace; checks the
+  // workspace back into the pool on destruction.
+  class handle {
+   public:
+    handle() = default;
+    handle(handle&& o) noexcept
+        : pool_(std::exchange(o.pool_, nullptr)),
+          ws_(std::exchange(o.ws_, nullptr)) {}
+    handle& operator=(handle&& o) noexcept {
+      if (this != &o) {
+        release();
+        pool_ = std::exchange(o.pool_, nullptr);
+        ws_ = std::exchange(o.ws_, nullptr);
+      }
+      return *this;
+    }
+    handle(const handle&) = delete;
+    handle& operator=(const handle&) = delete;
+    ~handle() { release(); }
+
+    [[nodiscard]] sort_workspace* get() const noexcept { return ws_; }
+    sort_workspace& operator*() const noexcept { return *ws_; }
+    sort_workspace* operator->() const noexcept { return ws_; }
+    [[nodiscard]] explicit operator bool() const noexcept {
+      return ws_ != nullptr;
+    }
+
+    // Early checkin (idempotent); the destructor calls it too.
+    void release() noexcept {
+      if (pool_ != nullptr) {
+        pool_->checkin(ws_);
+        pool_ = nullptr;
+        ws_ = nullptr;
+      }
+    }
+
+   private:
+    friend class workspace_pool;
+    handle(workspace_pool* pool, sort_workspace* ws) noexcept
+        : pool_(pool), ws_(ws) {}
+
+    workspace_pool* pool_ = nullptr;
+    sort_workspace* ws_ = nullptr;
+  };
+
+  // `capacity` bounds how many workspaces the pool keeps parked (and hence
+  // its steady-state memory). 0 = one per scheduler worker, the natural
+  // bound on useful sort concurrency.
+  explicit workspace_pool(std::size_t capacity = 0)
+      : slots_(capacity != 0 ? capacity
+                             : static_cast<std::size_t>(
+                                   par::scheduler::default_num_workers())) {
+    for (auto& s : slots_) s.ptr.store(nullptr, std::memory_order_relaxed);
+  }
+  workspace_pool(const workspace_pool&) = delete;
+  workspace_pool& operator=(const workspace_pool&) = delete;
+  ~workspace_pool() {
+    for (auto& s : slots_) delete s.ptr.load(std::memory_order_acquire);
+  }
+
+  // Claim a workspace: a parked one if any slot holds one, else a fresh one.
+  [[nodiscard]] handle checkout() {
+    checkouts_.fetch_add(1, std::memory_order_relaxed);
+    for (auto& s : slots_) {
+      if (s.ptr.load(std::memory_order_relaxed) == nullptr) continue;
+      sort_workspace* ws = s.ptr.exchange(nullptr, std::memory_order_acquire);
+      if (ws != nullptr) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return handle(this, ws);
+      }
+    }
+    creations_.fetch_add(1, std::memory_order_relaxed);
+    return handle(this, new sort_workspace());
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+  // Checkouts served from a parked (warm) workspace.
+  [[nodiscard]] std::uint64_t pool_hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  // Checkouts that had to construct a fresh workspace.
+  [[nodiscard]] std::uint64_t creations() const noexcept {
+    return creations_.load(std::memory_order_relaxed);
+  }
+  // Checkins that found every slot occupied and destroyed the workspace
+  // (only possible when concurrency exceeded `capacity`).
+  [[nodiscard]] std::uint64_t discards() const noexcept {
+    return discards_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t checkouts() const noexcept {
+    return checkouts_.load(std::memory_order_relaxed);
+  }
+
+  // Process-wide default pool, used by the wide-key refine driver when the
+  // caller does not supply one (auto_sort_options::pool).
+  static workspace_pool& shared() {
+    static workspace_pool p;
+    return p;
+  }
+
+ private:
+  friend class handle;
+
+  void checkin(sort_workspace* ws) noexcept {
+    for (auto& s : slots_) {
+      sort_workspace* expected = nullptr;
+      if (s.ptr.compare_exchange_strong(expected, ws,
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed)) {
+        return;
+      }
+    }
+    discards_.fetch_add(1, std::memory_order_relaxed);
+    delete ws;
+  }
+
+  struct alignas(detail::kSlabAlign) slot {
+    std::atomic<sort_workspace*> ptr{nullptr};
+  };
+  std::vector<slot> slots_;
+  std::atomic<std::uint64_t> checkouts_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> creations_{0};
+  std::atomic<std::uint64_t> discards_{0};
 };
 
 }  // namespace dovetail

@@ -29,7 +29,7 @@ void parallel_for_rec(std::size_t lo, std::size_t hi, const F& f,
 // granularity (e.g. 1) when each iteration is itself expensive, such as a
 // recursive sort over a bucket.
 inline std::size_t default_granularity(std::size_t n) {
-  auto p = static_cast<std::size_t>(num_workers());
+  auto p = static_cast<std::size_t>(effective_workers());
   return std::max<std::size_t>(512, n / (64 * p));
 }
 

@@ -16,6 +16,7 @@ namespace dovetail::par {
 namespace {
 
 thread_local int tl_worker_id = -1;
+thread_local int tl_worker_limit = 0;  // 0 = no per-call cap
 
 inline void cpu_relax() noexcept {
 #if defined(__x86_64__) || defined(__i386__)
@@ -33,6 +34,11 @@ inline std::uint64_t xorshift64(std::uint64_t& s) noexcept {
 }
 
 }  // namespace
+
+namespace detail {
+int current_worker_limit() noexcept { return tl_worker_limit; }
+void set_worker_limit(int limit) noexcept { tl_worker_limit = limit; }
+}  // namespace detail
 
 struct alignas(64) worker_deque {
   std::mutex m;

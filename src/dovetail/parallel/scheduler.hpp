@@ -27,6 +27,13 @@ namespace dovetail::par {
 
 namespace detail {
 
+// Per-thread cap on the parallelism a computation may use (0 = no cap).
+// Installed by scoped_worker_limit and consulted by pardo() and the
+// granularity heuristics; forked tasks carry the forking thread's limit
+// with them so a stolen continuation keeps the caller's cap.
+int current_worker_limit() noexcept;
+void set_worker_limit(int limit) noexcept;
+
 // Type-erased forked task. `run()` must be called exactly once.
 class job {
  public:
@@ -46,15 +53,22 @@ class job {
 template <typename F>
 class forked_task final : public job {
  public:
-  explicit forked_task(F&& f) : f_(std::move(f)) {}
-  explicit forked_task(const F& f) : f_(f) {}
+  explicit forked_task(F&& f)
+      : f_(std::move(f)), limit_(current_worker_limit()) {}
+  explicit forked_task(const F& f) : f_(f), limit_(current_worker_limit()) {}
 
   void run() noexcept override {
+    // Run under the forking thread's worker limit: a stolen task must make
+    // the same serial/parallel and granularity decisions it would have made
+    // on the thread that forked it.
+    const int saved = current_worker_limit();
+    set_worker_limit(limit_);
     try {
       f_();
     } catch (...) {
       ex_ = std::current_exception();
     }
+    set_worker_limit(saved);
     mark_done();
   }
 
@@ -64,6 +78,7 @@ class forked_task final : public job {
 
  private:
   F f_;
+  int limit_;
   std::exception_ptr ex_{};
 };
 
@@ -114,7 +129,8 @@ class scheduler {
 template <typename L, typename R>
 void pardo(L&& left, R&& right) {
   scheduler& s = scheduler::get();
-  if (s.num_workers() == 1 || scheduler::worker_id() < 0) {
+  const int limit = detail::current_worker_limit();
+  if (s.num_workers() == 1 || limit == 1 || scheduler::worker_id() < 0) {
     // Serial path: both branches still run even if one throws (same join
     // guarantee as the parallel path), rethrowing left's exception first.
     std::exception_ptr ex{};
@@ -149,5 +165,38 @@ void pardo(L&& left, R&& right) {
 }
 
 inline int num_workers() { return scheduler::get().num_workers(); }
+
+// Workers this computation may actually use: the pool size capped by the
+// innermost scoped_worker_limit (sort_options::num_threads installs one per
+// call). A limit of 1 is exact — pardo() takes its serial path, so the call
+// runs entirely on the current thread. Limits between 1 and the pool size
+// cap forking/granularity decisions; actual concurrency remains bounded by
+// the shared pool, since a work-stealing pool cannot reserve workers
+// per-call.
+inline int effective_workers() {
+  const int w = num_workers();
+  const int limit = detail::current_worker_limit();
+  return limit > 0 && limit < w ? limit : w;
+}
+
+// RAII per-call parallelism cap. Nested limits compose by taking the
+// minimum; 0 means "no additional cap". The limit is thread-local and
+// travels with forked tasks, so it scopes exactly the computation between
+// construction and destruction — concurrent sorts on other threads are
+// unaffected.
+class scoped_worker_limit {
+ public:
+  explicit scoped_worker_limit(int limit)
+      : saved_(detail::current_worker_limit()) {
+    if (limit > 0 && (saved_ == 0 || limit < saved_))
+      detail::set_worker_limit(limit);
+  }
+  ~scoped_worker_limit() { detail::set_worker_limit(saved_); }
+  scoped_worker_limit(const scoped_worker_limit&) = delete;
+  scoped_worker_limit& operator=(const scoped_worker_limit&) = delete;
+
+ private:
+  int saved_;
+};
 
 }  // namespace dovetail::par
