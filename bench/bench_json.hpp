@@ -433,6 +433,12 @@ inline bool parse(const std::string& text, value& out, std::string& err) {
 //                   key), "stats": object of nums (optional) }
 //     ]
 //   }
+//
+// Service-family addendum: entries whose "bench" starts with "service"
+// must carry a "concurrency" label (positive decimal integer — the
+// open-loop sweep key), and "service-batch" entries must report the load
+// generator's headline stats: "req_per_s", "p50_ms" and "p99_ms"
+// (non-negative, p50_ms <= p99_ms).
 
 inline bool check_number(const value& entry, const std::string& name,
                          const char* field, std::string& err,
@@ -533,6 +539,50 @@ inline bool validate_result_entry(const value& entry, std::string& err,
     for (const auto& [k, v] : stats->as_object()) {
       if (!v.is_number()) {
         err = name + ": stat '" + k + "' is not a number";
+        return false;
+      }
+    }
+  }
+  // Service-family contract (scenarios_service.hpp). Every "service*"
+  // entry keys its sweep on a 'concurrency' label (positive decimal
+  // integer, like 'threads'), and the batched load family must report the
+  // open-loop generator's headline stats: requests/sec plus ordered
+  // p50/p99 latency quantiles.
+  const value* bench_v = entry.find("bench");
+  if (bench_v != nullptr && bench_v->is_string() &&
+      bench_v->as_string().rfind("service", 0) == 0) {
+    const value* conc = labels->find("concurrency");
+    if (conc == nullptr || !conc->is_string()) {
+      err = name + ": service entry: missing 'concurrency' label";
+      return false;
+    }
+    const std::string& c = conc->as_string();
+    const bool numeric =
+        !c.empty() && c.find_first_not_of("0123456789") == std::string::npos;
+    if (!numeric || c == "0" || c[0] == '0') {
+      err = name + ": label 'concurrency' must be a positive integer, got '" +
+            c + "'";
+      return false;
+    }
+    if (bench_v->as_string() == "service-batch") {
+      const value* stats = entry.find("stats");
+      if (stats == nullptr || !stats->is_object()) {
+        err = name + ": service-batch entry: missing 'stats' object";
+        return false;
+      }
+      double p50 = 0, p99 = 0;
+      for (const char* field : {"req_per_s", "p50_ms", "p99_ms"}) {
+        const value* v = stats->find(field);
+        if (v == nullptr || !v->is_number() || v->as_number() < 0) {
+          err = name + ": service-batch entry: missing non-negative stat '" +
+                std::string(field) + "'";
+          return false;
+        }
+        if (std::string(field) == "p50_ms") p50 = v->as_number();
+        if (std::string(field) == "p99_ms") p99 = v->as_number();
+      }
+      if (p50 > p99) {
+        err = name + ": service-batch entry: p50_ms exceeds p99_ms";
         return false;
       }
     }

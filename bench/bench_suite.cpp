@@ -35,6 +35,7 @@
 #include "scenarios_matrix.hpp"
 #include "scenarios_parallel.hpp"
 #include "scenarios_scaling.hpp"
+#include "scenarios_service.hpp"
 #include "scenarios_wide.hpp"
 
 namespace {
@@ -179,6 +180,7 @@ int main(int argc, char** argv) {
   dtb::register_codec_scenarios(cfg);
   dtb::register_wide_scenarios(cfg);
   dtb::register_parallel_scenarios(cfg);
+  dtb::register_service_scenarios(cfg);
 
   std::vector<const dtb::scenario*> selected;
   for (const auto& s : registry.scenarios())
@@ -279,7 +281,11 @@ int main(int argc, char** argv) {
         "refine-by-segment driver vs std::stable_sort; wide-str: string "
         "keys, 16-byte radix prefix + tie-break), and the parallel "
         "families (parallel-auto/codec/wide: the per-call num_threads "
-        "sweep and the workspace_pool refine vs its serial ablation). Times "
+        "sweep and the workspace_pool refine vs its serial ablation), and "
+        "the service families (service-batch: the open-loop batched sort "
+        "service, request-size mix x concurrency, req/s with p50/p99 "
+        "latency; service-stream: chunked streaming ingestion vs the "
+        "one-shot front door). Times "
         "are medians over the "
         "timed repetitions on a warm workspace; every scenario is "
         "cross-checked (see 'check').",

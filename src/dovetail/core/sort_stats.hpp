@@ -104,6 +104,19 @@ struct sort_stats {
   std::atomic<std::uint64_t> chosen_parallelism{0};
   std::atomic<std::uint64_t> effective_workers{0};
 
+  // --- Service layer (sort_service.hpp / stream_sort.hpp) ---
+  // Cumulative, like the engine counters: the serving layer's request
+  // accounting. `service_requests` counts requests completed by
+  // sort_batch, `service_batches` the batch calls that carried them;
+  // `stream_chunks` counts chunks accepted by stream_sorter::push and
+  // `stream_merge_records` the records that rode through the k-way merge
+  // machinery — finish()'s tree levels (n per level, ceil(log2 k) levels
+  // for k runs) plus any push-time compaction merges.
+  std::atomic<std::uint64_t> service_requests{0};
+  std::atomic<std::uint64_t> service_batches{0};
+  std::atomic<std::uint64_t> stream_chunks{0};
+  std::atomic<std::uint64_t> stream_merge_records{0};
+
   // --- Timing / throughput (bench harness, dtsort_cli) ---
   // Wall-clock totals for whole-sort runs attributed to this stats object.
   // Unlike the work counters above, these are filled by the caller that
@@ -167,6 +180,10 @@ struct sort_stats {
     wide_segments = 0;
     chosen_parallelism = 0;
     effective_workers = 0;
+    service_requests = 0;
+    service_batches = 0;
+    stream_chunks = 0;
+    stream_merge_records = 0;
     timed_runs = 0;
     timed_ns = 0;
     timed_records = 0;

@@ -357,6 +357,49 @@ class workspace_pool {
     return handle(this, new sort_workspace());
   }
 
+  // Park fresh workspaces in up to `count` empty slots (clamped to
+  // capacity) so a burst of concurrent checkouts starts warm instead of
+  // constructing under load. Counters are untouched: prewarmed arenas are
+  // neither checkouts nor creations, so the checkout-side invariant
+  // `checkouts == pool_hits + creations` still holds and every subsequent
+  // checkout of a prewarmed arena is a pool hit. Slabs inside each arena
+  // still warm up on first use; prewarm removes the pool-level
+  // construction, the first sorting round removes the slab-level mallocs.
+  // Not thread-safe against concurrent checkout/checkin of the same pool;
+  // call it before opening the pool to traffic. Returns the number of
+  // workspaces actually parked.
+  std::size_t prewarm(std::size_t count = 0) {
+    if (count == 0 || count > slots_.size()) count = slots_.size();
+    std::size_t parked_now = 0;
+    for (auto& s : slots_) {
+      if (parked_now == count) break;
+      if (s.ptr.load(std::memory_order_relaxed) != nullptr) {
+        ++parked_now;  // already warm
+        continue;
+      }
+      sort_workspace* ws = new sort_workspace();
+      sort_workspace* expected = nullptr;
+      if (s.ptr.compare_exchange_strong(expected, ws,
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed)) {
+        ++parked_now;
+      } else {
+        delete ws;  // raced with a checkin; slot is warm anyway
+        ++parked_now;
+      }
+    }
+    return parked_now;
+  }
+
+  // Number of workspaces currently parked (checked in and waiting). A
+  // point-in-time scan: exact only while no checkout/checkin is running.
+  [[nodiscard]] std::size_t parked() const noexcept {
+    std::size_t n = 0;
+    for (const auto& s : slots_)
+      if (s.ptr.load(std::memory_order_relaxed) != nullptr) ++n;
+    return n;
+  }
+
   [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
   // Checkouts served from a parked (warm) workspace.
   [[nodiscard]] std::uint64_t pool_hits() const noexcept {

@@ -10,6 +10,10 @@
 // surface layer by layer.
 #pragma once
 
+// Layer 5 — serving layer: batched requests + streaming ingestion.
+#include "dovetail/core/sort_service.hpp"
+#include "dovetail/core/stream_sort.hpp"
+
 // Layer 4 — adaptive front door + typed keys (wide multi-word keys
 // included; wide_sort.hpp rides in with auto_sort.hpp).
 #include "dovetail/core/auto_sort.hpp"
@@ -47,7 +51,7 @@
 #include "dovetail/parallel/scheduler.hpp"
 #include "dovetail/parallel/sort.hpp"
 
-// Layer 5 — applications.
+// Layer 6 — applications.
 #include "dovetail/apps/graph.hpp"
 #include "dovetail/apps/morton.hpp"
 

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "bench/harness.hpp"
+#include "bench/scenarios_service.hpp"
 #include "dovetail/core/dovetail_sort.hpp"
 
 namespace {
@@ -265,6 +266,86 @@ TEST(BenchJson, SchemaRejectsMalformedReports) {
   auto& arr = broken.as_object()["results"].as_array();
   arr.push_back(arr[0]);
   EXPECT_FALSE(dtb::json::validate_bench_schema(broken, err));
+}
+
+TEST(BenchHarness, ServiceRequestSizesAreDeterministic) {
+  // The open-loop generator is the reproducibility anchor of the
+  // service-batch family: same (mix, total, seed) must give the same
+  // request plan, so a committed BENCH_service.json is re-runnable.
+  for (const char* mix : {"tiny", "small", "mixed"}) {
+    const auto a = dtb::service_request_sizes(mix, 200'000, 42);
+    const auto b = dtb::service_request_sizes(mix, 200'000, 42);
+    EXPECT_EQ(a, b) << mix;
+    ASSERT_FALSE(a.empty()) << mix;
+    std::size_t total = 0;
+    for (const std::size_t sz : a) {
+      EXPECT_GE(sz, 1u) << mix;
+      EXPECT_LE(sz, 65'536u) << mix;
+      total += sz;
+    }
+    EXPECT_EQ(total, 200'000u) << mix << ": sizes must cover total exactly";
+    const auto c = dtb::service_request_sizes(mix, 200'000, 43);
+    EXPECT_NE(a, c) << mix << ": a different seed must give a different plan";
+  }
+  // Mix bounds (all but the clamped final request).
+  const auto tiny = dtb::service_request_sizes("tiny", 100'000, 7);
+  for (std::size_t i = 0; i + 1 < tiny.size(); ++i) {
+    EXPECT_GE(tiny[i], 64u);
+    EXPECT_LE(tiny[i], 1024u);
+  }
+  const auto small = dtb::service_request_sizes("small", 100'000, 7);
+  for (std::size_t i = 0; i + 1 < small.size(); ++i) {
+    EXPECT_GE(small[i], 1024u);
+    EXPECT_LE(small[i], 16'384u);
+  }
+  EXPECT_TRUE(dtb::service_request_sizes("tiny", 0, 1).empty());
+}
+
+TEST(BenchJson, ServiceEntriesNeedConcurrencyAndLoadStats) {
+  // Start from a known-good report and rebadge its entry as a service
+  // one: the schema must then demand the concurrency label and (for the
+  // batch family) the req_per_s / p50_ms / p99_ms stats, ordered.
+  const dtb::run_config cfg = small_config();
+  const dtb::scenario s = make_dtsort_scenario("unit/service/DTSort");
+  std::vector<std::pair<const dtb::scenario*, dtb::scenario_result>> runs;
+  runs.emplace_back(&s, s.run(cfg));
+  const std::string good = dtb::make_report(cfg, "unit", runs).dump();
+
+  dtb::json::value root;
+  std::string err;
+  ASSERT_TRUE(dtb::json::parse(good, root, err)) << err;
+  auto& entry = root.as_object()["results"].as_array().at(0);
+
+  entry.as_object()["bench"] = dtb::json::value("service-stream");
+  EXPECT_FALSE(dtb::json::validate_bench_schema(root, err));
+  EXPECT_NE(err.find("concurrency"), std::string::npos) << err;
+
+  auto& labels = entry.as_object()["labels"].as_object();
+  labels["concurrency"] = dtb::json::value("04");
+  EXPECT_FALSE(dtb::json::validate_bench_schema(root, err)) << "leading zero";
+  labels["concurrency"] = dtb::json::value("4");
+  EXPECT_TRUE(dtb::json::validate_bench_schema(root, err)) << err;
+
+  // The batch family additionally requires the load-generator stats.
+  entry.as_object()["bench"] = dtb::json::value("service-batch");
+  EXPECT_FALSE(dtb::json::validate_bench_schema(root, err));
+  EXPECT_NE(err.find("req_per_s"), std::string::npos) << err;
+  dtb::json::object st;
+  st["req_per_s"] = dtb::json::value(1000.0);
+  st["p50_ms"] = dtb::json::value(2.0);
+  st["p99_ms"] = dtb::json::value(1.0);  // misordered
+  entry.as_object()["stats"] = dtb::json::value(st);
+  EXPECT_FALSE(dtb::json::validate_bench_schema(root, err));
+  EXPECT_NE(err.find("p50_ms exceeds p99_ms"), std::string::npos) << err;
+  st["p99_ms"] = dtb::json::value(3.0);
+  entry.as_object()["stats"] = dtb::json::value(st);
+  EXPECT_TRUE(dtb::json::validate_bench_schema(root, err)) << err;
+
+  // Non-service families are untouched by the addendum.
+  entry.as_object()["bench"] = dtb::json::value("unit");
+  labels.erase("concurrency");
+  entry.as_object()["stats"] = dtb::json::value(dtb::json::object{});
+  EXPECT_TRUE(dtb::json::validate_bench_schema(root, err)) << err;
 }
 
 TEST(BenchHarness, SortStatsTimingFields) {

@@ -5,7 +5,10 @@
 // std::stable_sort. Every failure is reproducible from the seed. The wide
 // arm (FuzzDifferentialWide) runs the same discipline over 128-bit keys
 // through dovetail::sort's refine-by-segment driver, mixing chunks whose
-// word-0 entropy ranges from constant to fully random.
+// word-0 entropy ranges from constant to fully random. The streaming arm
+// (FuzzDifferentialStream) feeds the SAME mixed inputs through
+// stream_sorter under a random chunking plan and demands byte-identity
+// with both std::stable_sort and the one-shot front door.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -15,6 +18,7 @@
 
 #include "dovetail/core/auto_sort.hpp"
 #include "dovetail/core/dovetail_sort.hpp"
+#include "dovetail/core/stream_sort.hpp"
 #include "dovetail/parallel/random.hpp"
 #include "dovetail/util/record.hpp"
 
@@ -192,6 +196,66 @@ TEST_P(FuzzDifferentialWide, MatchesStdStableSort) {
     ASSERT_EQ(v[i].value, ref[i].value)
         << "stability broken; seed=" << seed << " i=" << i;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming arm: random chunking of the same mixed fuzz inputs through
+// stream_sorter. Chunk boundaries are independent of the fragment
+// boundaries inside build_mixed_input, so runs/constants/random blocks get
+// split across pushes in every way the seeds reach. Every few seeds also
+// bound pending runs, exercising push-time compaction.
+
+class FuzzDifferentialStream : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferentialStream,
+                         ::testing::Range(0, 24));
+
+TEST_P(FuzzDifferentialStream, MatchesStableSortAndOneShot) {
+  const auto seed = static_cast<std::uint64_t>(3000 + GetParam());
+  const auto input = build_mixed_input(seed);
+
+  auto ref = input;
+  std::stable_sort(ref.begin(), ref.end(), [](const kv32& a, const kv32& b) {
+    return a.key < b.key;
+  });
+  auto one_shot = input;
+  {
+    sort_workspace ws;
+    auto_sort_options opt;
+    opt.workspace = &ws;
+    dovetail::sort(std::span<kv32>(one_shot), key_of_kv32, opt);
+  }
+
+  stream_options sopt;
+  if (seed % 3 == 0)
+    sopt.max_pending_runs = 2 + par::rand_range(seed, 17, 6);  // 2..7
+  stream_sorter<kv32, decltype(key_of_kv32)> s(sopt, key_of_kv32);
+  const std::size_t max_chunk =
+      1 + par::rand_range(seed, 18, 9000);  // 1..9000
+  std::size_t off = 0, i = 0;
+  while (off < input.size()) {
+    const std::size_t c = std::min(
+        input.size() - off,
+        static_cast<std::size_t>(par::rand_range(
+            seed, 400000 + i++, static_cast<std::uint64_t>(max_chunk + 1))));
+    s.push(std::span<const kv32>(input.data() + off, c));
+    off += c;
+  }
+  const auto got = s.finish();
+
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t j = 0; j < got.size(); ++j) {
+    ASSERT_EQ(got[j].key, ref[j].key)
+        << "seed=" << seed << " i=" << j << " max_chunk=" << max_chunk;
+    ASSERT_EQ(got[j].value, ref[j].value)
+        << "stability broken; seed=" << seed << " i=" << j;
+  }
+  // And bit-for-bit the one-shot front door, the contract stream_sort.hpp
+  // documents.
+  ASSERT_TRUE(std::equal(got.begin(), got.end(), one_shot.begin(),
+                         [](const kv32& a, const kv32& b) {
+                           return a.key == b.key && a.value == b.value;
+                         }))
+      << "seed=" << seed;
 }
 
 TEST(FuzzDifferential64, MixedInputs64Bit) {

@@ -2,7 +2,10 @@
 // emitted by bench_suite (--json) and validates it against the
 // BENCH_suite.json schema (bench/bench_json.hpp): required context fields,
 // well-formed result entries with ordered min/median/max, unique names,
-// and no entry whose correctness check failed. Exit 0 = valid.
+// and no entry whose correctness check failed. Service-family entries
+// (bench starting with "service") additionally need a positive-integer
+// 'concurrency' label, and service-batch entries the req_per_s / p50_ms /
+// p99_ms load stats with p50 <= p99. Exit 0 = valid.
 //
 // Usage: check_bench_json FILE.json [FILE2.json ...]
 #include <cstdio>
