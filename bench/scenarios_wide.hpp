@@ -12,14 +12,28 @@
 //       committed run: geo-mean 1.58x, strings 2.3-3.4x, deep cells
 //       1.33-1.39x, w0-16 128-bit cells 1.24-1.32x inside a +-10%
 //       baseline-jitter band — see BENCHMARKS.md for the noise analysis).
-//   wide-str — dovetail::sort on generated string keys (16-byte radix
-//       prefix + comparison tie-break beyond it) vs std::stable_sort on
-//       std::string, same protocol; the check demands full lexicographic
-//       order, so the tie-break correctness is load-bearing, not
-//       decorative.
-// Both families record refine_rounds / wide_segments next to the times,
-// so the committed baseline also documents how much refinement each
-// instance actually required.
+//   wide-str — dovetail::sort on generated string keys (14-byte radix
+//       prefix via the 7+1 string codec, MSD continuation probing and
+//       radix-sorting one 7-byte word at a time whenever a large segment
+//       is still tied) vs std::stable_sort on std::string, same protocol;
+//       the check demands full lexicographic order, so the beyond-prefix
+//       machinery is load-bearing, not decorative.
+//   wide-str-lcp — the continuation stressor: generate_lcp_string_keys
+//       plants a shared common prefix of 0/16/64/256 bytes, so the sort
+//       must walk past the whole prefix before any byte distinguishes
+//       keys — the probe skip-jumps the shared middle in one scan, so
+//       deeper prefixes cost more scanning but no extra radix rounds. Each cell times THREE variants on
+//       rotating rep order: continuation (primary), the PR-5 comparison
+//       tie-break ablation (policy.wide_continuation = false,
+//       ms_TieBreak / speedup_vs_tiebreak), and std::stable_sort
+//       (ms_StdStable / speedup_vs_std). The committed BENCH_wide.json is
+//       the evidence for the ISSUE-8 acceptance bar: continuation >= 2x
+//       the tie-break at lcp >= 64, and the lcp-0 cells within noise of
+//       the plain wide-str protocol.
+// All families record refine_rounds / wide_segments (and the lcp cells
+// the continuation_* counters) next to the times, so the committed
+// baseline also documents how much refinement each instance actually
+// required.
 #pragma once
 
 #include <algorithm>
@@ -84,6 +98,14 @@ inline const std::vector<std::string>& cached_string_input(
   return memoize_input(d.name + "/" + std::to_string(n), [&] {
     return dovetail::gen::generate_string_keys(d, n, 1);
   });
+}
+
+inline const std::vector<std::string>& cached_lcp_string_input(
+    const dovetail::gen::distribution& d, std::size_t n, std::size_t lcp) {
+  return memoize_input(
+      d.name + "/" + std::to_string(n) + "/lcp-" + std::to_string(lcp), [&] {
+        return dovetail::gen::generate_lcp_string_keys(d, n, 1, lcp);
+      });
 }
 
 // ---------------------------------------------------------------------------
@@ -216,6 +238,125 @@ inline scenario_result run_wide_string_cell(
   return res;
 }
 
+// wide-str-lcp cells: three timed variants per rep — MSD continuation
+// (primary), the comparison tie-break ablation, and std::stable_sort —
+// with the in-rep order rotated by rep index so no variant always pays
+// the cold-predecessor penalty (the 3-way analogue of
+// run_interleaved_reps' alternation).
+inline scenario_result run_wide_lcp_cell(
+    const run_config& rc, const std::vector<std::string>& input) {
+  scenario_result res;
+  res.n = input.size();
+
+  std::vector<std::string> work(input.size());
+  dovetail::sort_stats stats;
+  const auto run_variant = [&](bool continuation) -> double {
+    std::copy(input.begin(), input.end(), work.begin());
+    dovetail::timer t;
+    dovetail::auto_sort_options opt;
+    opt.policy.wide_continuation = continuation;
+    opt.workspace = &suite_workspace();
+    opt.stats = &stats;
+    dovetail::sort(std::span<std::string>(work), opt);
+    return t.seconds();
+  };
+  const auto run_cont = [&]() -> double { return run_variant(true); };
+  const auto run_tiebreak = [&]() -> double { return run_variant(false); };
+  const auto run_std = [&]() -> double {
+    std::copy(input.begin(), input.end(), work.begin());
+    dovetail::timer t;
+    std::stable_sort(work.begin(), work.end());
+    return t.seconds();
+  };
+
+  run_warmups(std::max(rc.warmups, 1), run_cont);
+  if (rc.check) {
+    std::vector<std::string> ref = input;
+    std::stable_sort(ref.begin(), ref.end());
+    if (work != ref) {
+      res.check = "fail";
+      res.check_detail =
+          "continuation output is not the full lexicographic "
+          "std::stable_sort order";
+      return res;
+    }
+    run_tiebreak();
+    if (work != ref) {
+      res.check = "fail";
+      res.check_detail =
+          "tie-break ablation output differs from the stable reference "
+          "(byte-identity between the two paths is broken)";
+      return res;
+    }
+    res.check = "pass";
+  }
+  run_warmups(1, run_tiebreak);  // warm the ablation path too
+
+  const std::uint64_t alloc0 =
+      stats.workspace_allocations.load(std::memory_order_relaxed);
+  const int reps = std::max(rc.reps, rc.quick ? rc.reps : 3);
+  std::vector<double> tb_times;
+  std::vector<double> std_times;
+  std::uint64_t cont_fallbacks = 0;
+  const auto primary = [&] {
+    const double s = run_cont();
+    res.times_s.push_back(s);
+    stats.note_timed_run(s, res.n);
+    // The refine driver stores last-run snapshots, so read the
+    // continuation counters here — right after a continuation run —
+    // before an ablation/std run overwrites them. tiebreak_fallbacks is
+    // accumulated across continuation runs only: the ablation bumps it
+    // legitimately, but the acceptance bar is that the continuation path
+    // never falls back to a comparison sort above base_case.
+    res.stats["refine_rounds"] = static_cast<double>(
+        stats.refine_rounds.load(std::memory_order_relaxed));
+    res.stats["wide_segments"] = static_cast<double>(
+        stats.wide_segments.load(std::memory_order_relaxed));
+    res.stats["continuation_rounds"] = static_cast<double>(
+        stats.wide_continuation_rounds.load(std::memory_order_relaxed));
+    res.stats["continuation_segments"] = static_cast<double>(
+        stats.wide_continuation_segments.load(std::memory_order_relaxed));
+    res.stats["max_byte_offset"] = static_cast<double>(
+        stats.wide_max_byte_offset.load(std::memory_order_relaxed));
+    cont_fallbacks +=
+        stats.wide_tiebreak_fallbacks.load(std::memory_order_relaxed);
+  };
+  for (int r = 0; r < reps; ++r) {
+    switch (r % 3) {
+      case 0:
+        primary();
+        tb_times.push_back(run_tiebreak());
+        std_times.push_back(run_std());
+        break;
+      case 1:
+        tb_times.push_back(run_tiebreak());
+        std_times.push_back(run_std());
+        primary();
+        break;
+      default:
+        std_times.push_back(run_std());
+        primary();
+        tb_times.push_back(run_tiebreak());
+        break;
+    }
+  }
+
+  res.stats["ws_alloc_timed"] = static_cast<double>(
+      stats.workspace_allocations.load(std::memory_order_relaxed) - alloc0);
+  res.stats["tiebreak_fallbacks"] = static_cast<double>(cont_fallbacks);
+  scenario_result tb;
+  tb.times_s = std::move(tb_times);
+  res.stats["ms_TieBreak"] = tb.median_s() * 1e3;
+  scenario_result sr;
+  sr.times_s = std::move(std_times);
+  res.stats["ms_StdStable"] = sr.median_s() * 1e3;
+  if (res.median_s() > 0) {
+    res.stats["speedup_vs_tiebreak"] = tb.median_s() / res.median_s();
+    res.stats["speedup_vs_std"] = sr.median_s() / res.median_s();
+  }
+  return res;
+}
+
 // ---------------------------------------------------------------------------
 
 inline scenario register_wide_cell_base(const run_config& cfg,
@@ -269,8 +410,8 @@ inline void register_wide_string_cell(const run_config& cfg,
   scenario s;
   s.bench = "wide-str";
   s.name = s.bench + "/" + d.name + "/str";
-  s.paper = "string keys: 16-byte radix prefix + stable comparison "
-            "tie-break beyond it (full lexicographic order)";
+  s.paper = "string keys: 14-byte radix window + MSD continuation "
+            "beyond it (full lexicographic order)";
   s.row = d.name;
   s.col = "str";
   s.labels = {{"dist", d.name},
@@ -282,6 +423,32 @@ inline void register_wide_string_cell(const run_config& cfg,
   s.run = [d, n](const run_config& rc) {
     const auto& input = cached_string_input(d, n);
     return run_wide_string_cell(rc, input);
+  };
+  scenario_registry::instance().add(std::move(s));
+}
+
+inline void register_wide_lcp_cell(const run_config& cfg,
+                                   const dovetail::gen::distribution& d,
+                                   std::size_t lcp) {
+  scenario s;
+  s.bench = "wide-str-lcp";
+  const std::string col = "lcp-" + std::to_string(lcp);
+  s.name = s.bench + "/" + d.name + "/" + col;
+  s.paper = "long-common-prefix strings: MSD continuation skip-jumps the "
+            "shared prefix and radix-sorts the first differing word vs "
+            "the comparison tie-break ablation";
+  s.row = d.name;
+  s.col = col;
+  s.labels = {{"dist", d.name},
+              {"algo", "Auto"},
+              {"width", "str"},
+              {"key", "string"},
+              {"lcp", std::to_string(lcp)},
+              {"threads", std::to_string(cfg.max_threads())}};
+  const std::size_t n = cfg.n;
+  s.run = [d, n, lcp](const run_config& rc) {
+    const auto& input = cached_lcp_string_input(d, n, lcp);
+    return run_wide_lcp_cell(rc, input);
   };
   scenario_registry::instance().add(std::move(s));
 }
@@ -304,6 +471,17 @@ inline void register_wide_scenarios(const run_config& cfg) {
       cfg, {dovetail::gen::dist_kind::uniform, 1e7, "Unif-1e7"}, 4);
   register_wide_pair_cell(
       cfg, {dovetail::gen::dist_kind::zipfian, 1.2, "Zipf-1.2"}, 4);
+  // The continuation stressor: a shared common prefix of lcp bytes must
+  // be walked before any byte distinguishes keys — the probe skip-jumps
+  // it in one scan per round, so even lcp-256 takes only ~3 radix
+  // rounds (lcp-0 doubles as the no-regression control).
+  for (const std::size_t lcp : {std::size_t{0}, std::size_t{16},
+                                std::size_t{64}, std::size_t{256}}) {
+    register_wide_lcp_cell(
+        cfg, {dovetail::gen::dist_kind::uniform, 1e7, "Unif-1e7"}, lcp);
+    register_wide_lcp_cell(
+        cfg, {dovetail::gen::dist_kind::zipfian, 1.2, "Zipf-1.2"}, lcp);
+  }
 }
 
 }  // namespace dtb

@@ -245,6 +245,16 @@ struct dispatch_policy {
   // time, parallel only inside each call) — kept as an ablation toggle so
   // the parallel-refine gain stays measurable (bench scenarios_parallel).
   bool parallel_wide_refine = true;
+  // Offset-capable non-exhaustive codecs (std::string / std::string_view)
+  // only: when a segment still ties after every materialized prefix word,
+  // re-enter radix refinement on the next slice of the true keys (the
+  // offset-codec form in key_codec.hpp) instead of finishing the whole
+  // segment with one comparison sort. Off = the pre-continuation
+  // behaviour (the PR-5 tie-break), kept as an ablation toggle: both
+  // paths produce byte-identical output (asserted in
+  // tests/test_string_engine.cpp) and the wide-str-lcp bench family
+  // measures the gap on long-common-prefix corpora.
+  bool wide_continuation = true;
 
   // The decision tree. `disallow` is a bitmask of sort_kernel values the
   // caller has ruled out (the dispatcher uses it when a cheap-branch

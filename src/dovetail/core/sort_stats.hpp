@@ -91,6 +91,20 @@ struct sort_stats {
   // already separated every key.
   std::atomic<std::uint64_t> refine_rounds{0};
   std::atomic<std::uint64_t> wide_segments{0};
+  // Offset-continuation (MSD recursion beyond the materialized prefix,
+  // offset-capable codecs like std::string only) snapshots, stored by the
+  // same driver: continuation rounds run (one per byte-offset window the
+  // driver re-entered), the segment re-entries those rounds refined, and
+  // the deepest key byte any round inspected (offset + stride of the last
+  // window). wide_tiebreak_fallbacks counts ABOVE-base-case segments a
+  // non-exhaustive codec finished with the true-key comparison sort —
+  // always 0 when the continuation runs (its acceptance property); > 0 on
+  // the dispatch_policy::wide_continuation = false ablation whenever an
+  // equal-prefix segment outgrew wide_segment_base_case.
+  std::atomic<std::uint64_t> wide_continuation_rounds{0};
+  std::atomic<std::uint64_t> wide_continuation_segments{0};
+  std::atomic<std::uint64_t> wide_max_byte_offset{0};
+  std::atomic<std::uint64_t> wide_tiebreak_fallbacks{0};
   // Parallelism snapshots (last-write-wins like chosen_kernel): the worker
   // count the dispatcher decided to run the kernel under (1 = it chose the
   // serial path, e.g. n below dispatch_policy::parallel_crossover_n) and
@@ -178,6 +192,10 @@ struct sort_stats {
     codec_encoded_bits = 0;
     refine_rounds = 0;
     wide_segments = 0;
+    wide_continuation_rounds = 0;
+    wide_continuation_segments = 0;
+    wide_max_byte_offset = 0;
+    wide_tiebreak_fallbacks = 0;
     chosen_parallelism = 0;
     effective_workers = 0;
     service_requests = 0;

@@ -376,14 +376,15 @@ std::vector<tkv<K>> generate_wide_records(const distribution& d,
 }
 
 // String keys with the same injective-map discipline, shaped to exercise
-// every stage of the fixed-prefix codec (key_codec.hpp):
+// every stage of the prefix codec (key_codec.hpp):
 //   bytes 0-7   "key-XXX-" — a tag from the value's top `tag_bits` bits,
 //               so word 0 discriminates only coarsely (default 2^12
 //               distinct word-0 values);
-//   bytes 8-23  16 hex digits of the full value — injective; bytes 16-23
-//               lie BEYOND the 16-byte prefix, so values sharing their
-//               top 32 bits tie on the whole prefix and exercise the
-//               driver's comparison tie-break;
+//   bytes 8-23  16 hex digits of the full value — injective; the later
+//               digits lie BEYOND the materialized prefix window, so
+//               values sharing their top bits tie on the whole prefix and
+//               exercise the driver's beyond-the-prefix machinery
+//               (continuation or tie-break);
 //   tail        0-4 extra characters (value-dependent), so equal-prefix
 //               groups mix lengths.
 inline std::string string_key_from(std::uint64_t u, int tag_bits = 12) {
@@ -410,6 +411,52 @@ inline std::vector<std::string> generate_string_keys(const distribution& d,
   std::vector<std::string> out(n);
   par::parallel_for(0, n, [&](std::size_t i) {
     out[i] = string_key_from(make_key(d, seed, i, n, 64), tag_bits);
+  });
+  return out;
+}
+
+// Long-common-prefix string keys — the URL/file-path/log-key shape that
+// degenerates a prefix-only engine to per-key comparisons, and the input
+// of the wide-str-lcp bench family and the string engine's continuation
+// tests. Every key starts with the SAME `common_prefix`-byte printable
+// prefix (deterministic in `seed`), followed by 16 hex digits of the u64
+// frequency stream (injective, so the distribution's duplicate structure
+// carries over) and a 0-4 character value-dependent tail that mixes
+// lengths. A ~1-in-64 slice of keys instead STOPS at a value-dependent
+// point inside the FIRST 16 bytes of the shared prefix — each a strict
+// prefix of every full key (the adversarial NUL-extension shape), with
+// lengths straddling the 7-byte word and 14-byte window boundaries, so
+// equal-prefix segments mix ended and continuing keys right where the
+// codec arithmetic is trickiest. Truncation stays shallow on purpose:
+// real long-prefix corpora (a shared directory path, a URL host) almost
+// never contain the prefix cut at arbitrary depths, so beyond the first
+// window the corpus exercises the continuation's tied-window walk rather
+// than forcing a splitting radix round per window (arbitrary-depth
+// truncation is covered by the string test battery and the LCP fuzz
+// arm). common_prefix = 0 degenerates to untagged generate_string_keys.
+inline std::vector<std::string> generate_lcp_string_keys(
+    const distribution& d, std::size_t n, std::uint64_t seed = 1,
+    std::size_t common_prefix = 64) {
+  std::string prefix(common_prefix, 'x');
+  for (std::size_t i = 0; i < common_prefix; ++i)
+    prefix[i] =
+        static_cast<char>('a' + par::hash64(seed ^ (0xC0FFEEull + i)) % 26);
+  std::vector<std::string> out(n);
+  par::parallel_for(0, n, [&](std::size_t i) {
+    constexpr char hexd[] = "0123456789abcdef";
+    const std::uint64_t u = make_key(d, seed, i, n, 64);
+    std::string& s = out[i];
+    if (common_prefix > 0 && (par::hash64(u + 0x51ull) & 63) == 0) {
+      const std::size_t cut = std::min<std::size_t>(common_prefix, 16);
+      s.assign(prefix, 0, par::hash64(u + 0x1157ull) % cut);
+      return;
+    }
+    s.reserve(common_prefix + 21);
+    s = prefix;
+    for (int sh = 60; sh >= 0; sh -= 4) s += hexd[(u >> sh) & 0xF];
+    const std::size_t tail = u % 5;
+    for (std::size_t t = 0; t < tail; ++t)
+      s += static_cast<char>('a' + ((u >> (4 * t)) & 0xF));
   });
   return out;
 }

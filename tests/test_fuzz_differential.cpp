@@ -5,7 +5,10 @@
 // std::stable_sort. Every failure is reproducible from the seed. The wide
 // arm (FuzzDifferentialWide) runs the same discipline over 128-bit keys
 // through dovetail::sort's refine-by-segment driver, mixing chunks whose
-// word-0 entropy ranges from constant to fully random. The streaming arm
+// word-0 entropy ranges from constant to fully random. The string arm
+// (FuzzDifferentialLcpString) drives the variable-length string engine
+// over random long-common-prefix corpora, demanding the MSD continuation
+// and its tie-break ablation both match the reference. The streaming arm
 // (FuzzDifferentialStream) feeds the SAME mixed inputs through
 // stream_sorter under a random chunking plan and demands byte-identity
 // with both std::stable_sort and the one-shot front door.
@@ -14,6 +17,8 @@
 #include <algorithm>
 #include <cstdint>
 #include <span>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "dovetail/core/auto_sort.hpp"
@@ -196,6 +201,77 @@ TEST_P(FuzzDifferentialWide, MatchesStdStableSort) {
     ASSERT_EQ(v[i].value, ref[i].value)
         << "stability broken; seed=" << seed << " i=" << i;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Long-common-prefix string arm: the variable-length string engine
+// (wide_sort.hpp's MSD continuation) against both its own tie-break
+// ablation and std::stable_sort. Each seed draws a common prefix of
+// random length 0..256 over the FULL byte alphabet (NUL and 0xFF
+// included), then mixes per-key shapes: truncations inside the prefix
+// (strict-prefix adversaries), exact prefix duplicates, and tails of
+// random length/entropy — shared across a small id space on some kinds so
+// duplicate full keys occur too.
+
+namespace {
+
+std::vector<std::string> build_lcp_string_input(std::uint64_t seed) {
+  const std::size_t plen = par::rand_range(seed, 21, 257);  // 0..256
+  std::string prefix(plen, '\0');
+  for (std::size_t i = 0; i < plen; ++i)
+    prefix[i] = static_cast<char>(par::rand_at(seed, 500000 + i) & 0xFF);
+  const std::size_t n = 2000 + par::rand_range(seed, 22, 20000);
+  std::vector<std::string> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t kind = par::rand_range(seed, 600000 + i, 8);
+    std::string s;
+    if (kind == 0) {  // truncated inside the prefix
+      s.assign(prefix, 0, par::rand_range(seed, 700000 + i, plen + 1));
+    } else if (kind == 1) {  // exact prefix duplicate
+      s = prefix;
+    } else {  // prefix + tail; kinds 2-4 draw the tail from a 50-wide id
+              // space (duplicate full keys), kinds 5-7 fully random
+      s = prefix;
+      const std::uint64_t tail_id =
+          kind < 5 ? par::rand_range(seed, 800000 + i, 50)
+                   : par::rand_at(seed, 800000 + i);
+      const std::size_t tlen = par::rand_range(seed, 900000 + tail_id, 40);
+      for (std::size_t t = 0; t < tlen; ++t)
+        s += static_cast<char>(par::rand_at(seed, tail_id * 131 + t) & 0xFF);
+    }
+    v.push_back(std::move(s));
+  }
+  return v;
+}
+
+}  // namespace
+
+class FuzzDifferentialLcpString : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferentialLcpString,
+                         ::testing::Range(0, 24));
+
+TEST_P(FuzzDifferentialLcpString, ContinuationAndAblationMatchReference) {
+  const auto seed = static_cast<std::uint64_t>(9000 + GetParam());
+  const auto input = build_lcp_string_input(seed);
+  auto ref = input;
+  std::stable_sort(ref.begin(), ref.end());
+  sort_workspace ws;
+  auto_sort_options opt;
+  opt.workspace = &ws;
+  // Odd seeds shrink the comparison base case so the continuation recurses
+  // several windows deep; a third of the seeds cap per-call parallelism
+  // (1 = exact serial path).
+  if (seed % 2 == 1) opt.policy.wide_segment_base_case = 256;
+  if (seed % 3 == 0) opt.num_threads = (seed % 6 == 0) ? 4 : 1;
+  auto cont = input;
+  opt.policy.wide_continuation = true;
+  dovetail::sort(std::span<std::string>(cont), opt);
+  auto abl = input;
+  opt.policy.wide_continuation = false;
+  dovetail::sort(std::span<std::string>(abl), opt);
+  ASSERT_EQ(cont, ref) << "continuation diverged; seed=" << seed;
+  ASSERT_EQ(abl, ref) << "tie-break ablation diverged; seed=" << seed;
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,277 @@
+// Variable-length string engine tests — the adversarial corpus battery
+// pinning the MSD continuation beyond the materialized prefix
+// (wide_sort.hpp + key_codec.hpp's offset-codec form):
+//   * corpora built to break a prefix-only engine — all-equal keys, keys
+//     that are prefixes of each other ("a" < "ab" < "aba"), embedded NUL
+//     and 0xFF bytes, empty strings, lengths straddling every word
+//     boundary, shared prefixes longer than the materialized words, and
+//     segments engineered to recurse >= 3 continuation rounds — each
+//     checked byte-identical to std::stable_sort with
+//     std::less<std::string>, plus stability on duplicates via rank;
+//   * the continuation property — continuation and the PR-5 tie-break
+//     ablation (dispatch_policy::wide_continuation = false) produce
+//     byte-identical output across dispatch sizes x {serial,
+//     num_threads = 4} x {cold, warm pool};
+//   * the no-fallback guarantee — sort_stats::wide_tiebreak_fallbacks is
+//     0 whenever the continuation runs, even when equal-prefix segments
+//     dwarf wide_segment_base_case.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dovetail/core/auto_sort.hpp"
+#include "dovetail/core/wide_sort.hpp"
+#include "dovetail/core/workspace.hpp"
+#include "dovetail/generators/synthetic.hpp"
+#include "dovetail/parallel/random.hpp"
+
+using namespace dovetail;
+
+namespace {
+
+std::uint64_t rnd(std::uint64_t i) {
+  return par::hash64(i * 0x51ED2701ull + 29);
+}
+
+// Deterministic Fisher-Yates so every corpus arrives unsorted.
+void shuffle_strings(std::vector<std::string>& v, std::uint64_t salt = 0) {
+  for (std::size_t i = v.size(); i > 1; --i)
+    std::swap(v[i - 1], v[rnd(i + salt) % i]);
+}
+
+// Sort a copy through the front door and demand byte-identity with
+// std::stable_sort under std::less<std::string>; then pin stability on
+// duplicates through rank (equal keys must keep increasing input
+// indices — the sorted strings alone cannot witness it).
+void expect_full_lex(const std::vector<std::string>& input,
+                     auto_sort_options opt) {
+  auto v = input;
+  auto ref = input;
+  std::stable_sort(ref.begin(), ref.end(), std::less<std::string>{});
+  dovetail::sort(std::span<std::string>(v), opt);
+  ASSERT_EQ(v, ref);
+  const auto perm = dovetail::rank(
+      std::span<const std::string>(input.data(), input.size()), opt);
+  std::vector<index_t> rperm(input.size());
+  for (std::size_t i = 0; i < rperm.size(); ++i) rperm[i] = i;
+  std::stable_sort(rperm.begin(), rperm.end(), [&](index_t a, index_t b) {
+    return input[a] < input[b];
+  });
+  ASSERT_EQ(perm, rperm);
+}
+
+}  // namespace
+
+TEST(StringEngine, AllEqualKeys) {
+  // One giant fully-equal segment, far above the base case: the
+  // continuation must recognise "keys end inside the window" and stop
+  // with zero comparison fallbacks and the identity permutation.
+  const std::vector<std::string> v(30000, std::string(40, 'q'));
+  sort_workspace ws;
+  sort_stats st;
+  auto_sort_options opt;
+  opt.workspace = &ws;
+  opt.stats = &st;
+  opt.policy.wide_segment_base_case = 64;
+  auto s = v;
+  dovetail::sort(std::span<std::string>(s), opt);
+  EXPECT_EQ(s, v);
+  EXPECT_EQ(st.wide_tiebreak_fallbacks.load(), 0u);
+  const auto perm = dovetail::rank(
+      std::span<const std::string>(v.data(), v.size()), opt);
+  for (std::size_t i = 0; i < perm.size(); ++i) ASSERT_EQ(perm[i], i);
+}
+
+TEST(StringEngine, MutualPrefixChains) {
+  // Chains where every key is a strict prefix of the next ("a" < "ab" <
+  // "aba" < ...): the all-content-bytes-tie case only the count byte can
+  // order. 45 chain links x 400 duplicate witnesses each.
+  std::string link;
+  std::vector<std::string> pool;
+  for (int i = 0; i < 45; ++i) {
+    pool.push_back(link);
+    link += (i % 3 == 0) ? 'a' : (i % 3 == 1) ? 'b' : 'a';
+  }
+  std::vector<std::string> v;
+  for (int rep = 0; rep < 400; ++rep)
+    for (const auto& x : pool) v.push_back(x);
+  shuffle_strings(v, 1);
+  sort_workspace ws;
+  auto_sort_options opt;
+  opt.workspace = &ws;
+  opt.policy.wide_segment_base_case = 64;
+  expect_full_lex(v, opt);
+}
+
+TEST(StringEngine, EmbeddedNulAndHighBytes) {
+  // NUL must sort as a real byte (above end-of-string, below 0x01) and
+  // 0xFF as the largest byte, at positions inside, at, and just past
+  // every window edge of the 14-byte materialized prefix.
+  std::vector<std::string> pool = {"", std::string(1, '\0'),
+                                   std::string(2, '\0'), "\x01",
+                                   std::string(1, '\xFF')};
+  for (const std::size_t at : {std::size_t{0}, std::size_t{6},
+                               std::size_t{7}, std::size_t{13},
+                               std::size_t{14}, std::size_t{15},
+                               std::size_t{27}, std::size_t{28}}) {
+    std::string base(at, 'm');
+    pool.push_back(base);
+    pool.push_back(base + '\0');
+    pool.push_back(base + '\0' + "tail");
+    pool.push_back(base + '\x01');
+    pool.push_back(base + '\xFF');
+    pool.push_back(base + std::string("\xFF\xFF", 2));
+    pool.push_back(base + 'n');
+  }
+  std::vector<std::string> v;
+  for (int rep = 0; rep < 120; ++rep)
+    for (const auto& x : pool) v.push_back(x);
+  shuffle_strings(v, 2);
+  sort_workspace ws;
+  auto_sort_options opt;
+  opt.workspace = &ws;
+  opt.policy.wide_segment_base_case = 64;
+  expect_full_lex(v, opt);
+}
+
+TEST(StringEngine, LengthsStraddlingWordBoundaries) {
+  // Every length 0..30 of the same repeated byte — covering both the
+  // codec's 7-byte window edges (7/14/21/28) and the historical 8-byte
+  // edges (7/8/9, 15/16/17, 23/24/25) — plus a diverging last byte per
+  // length so content and count both decide somewhere.
+  std::vector<std::string> pool;
+  for (std::size_t len = 0; len <= 30; ++len) {
+    pool.push_back(std::string(len, 'k'));
+    if (len > 0) {
+      pool.push_back(std::string(len - 1, 'k') + 'j');
+      pool.push_back(std::string(len - 1, 'k') + 'l');
+      pool.push_back(std::string(len - 1, 'k') + '\0');
+    }
+  }
+  std::vector<std::string> v;
+  for (int rep = 0; rep < 80; ++rep)
+    for (const auto& x : pool) v.push_back(x);
+  shuffle_strings(v, 3);
+  sort_workspace ws;
+  auto_sort_options opt;
+  opt.workspace = &ws;
+  opt.policy.wide_segment_base_case = 64;
+  expect_full_lex(v, opt);
+}
+
+TEST(StringEngine, SharedPrefixLongerThanMaterializedWords) {
+  // A 40-byte shared prefix swallows the whole materialized window and
+  // two continuation rounds before any byte can discriminate.
+  const gen::distribution d{gen::dist_kind::zipfian, 1.2, "Zipf-1.2"};
+  const auto v = gen::generate_lcp_string_keys(d, 25000, 21, 40);
+  sort_workspace ws;
+  auto_sort_options opt;
+  opt.workspace = &ws;
+  expect_full_lex(v, opt);             // default base case: comparison finish
+  opt.policy.wide_segment_base_case = 64;  // tiny base case: radix recursion
+  expect_full_lex(v, opt);
+}
+
+TEST(StringEngine, DeepContinuationRecursion) {
+  // Engineered depth: a 64-byte common prefix forces the driver through
+  // >= 3 continuation rounds (splitting the window-straddling truncated
+  // keys out just past the materialized prefix, skip-jumping the shared
+  // middle, then splitting where the injective hex tail begins) — and no
+  // above-base-case segment may ever reach a comparison sort.
+  const gen::distribution d{gen::dist_kind::uniform, 1e7, "Unif-1e7"};
+  const auto input = gen::generate_lcp_string_keys(d, 30000, 22, 64);
+  sort_workspace ws;
+  sort_stats st;
+  auto_sort_options opt;
+  opt.workspace = &ws;
+  opt.stats = &st;
+  opt.policy.wide_segment_base_case = 64;
+  auto v = input;
+  auto ref = input;
+  std::stable_sort(ref.begin(), ref.end());
+  dovetail::sort(std::span<std::string>(v), opt);
+  ASSERT_EQ(v, ref);
+  EXPECT_GE(st.wide_continuation_rounds.load(), 3u);
+  EXPECT_GE(st.wide_continuation_segments.load(), 3u);
+  EXPECT_GE(st.wide_max_byte_offset.load(), 56u);
+  EXPECT_EQ(st.wide_tiebreak_fallbacks.load(), 0u);
+  // The ablation on the same input: identical bytes, and the fallback
+  // counter now reports the above-base-case comparison sorts the
+  // continuation engine is there to remove.
+  opt.policy.wide_continuation = false;
+  auto w = input;
+  dovetail::sort(std::span<std::string>(w), opt);
+  ASSERT_EQ(w, ref);
+  EXPECT_GE(st.wide_tiebreak_fallbacks.load(), 1u);
+}
+
+TEST(StringEngine, ContinuationMatchesTieBreakAblation) {
+  // The continuation property: byte-identical output vs the tie-break
+  // ablation (and the std::stable_sort reference) across dispatch sizes
+  // x {serial, num_threads = 4} x {cold, warm pool}. The pool loop runs
+  // each configuration twice on the same workspace_pool — first pass
+  // cold (arenas constructed), second warm (pure reuse).
+  const gen::distribution d{gen::dist_kind::exponential, 7, "Exp-7"};
+  const std::size_t sizes[] = {0, 1, 2, 5, 100, 513, 4096, 20000};
+  for (const std::size_t n : sizes) {
+    const auto input = gen::generate_lcp_string_keys(d, n, 23 + n, 24);
+    auto ref = input;
+    std::stable_sort(ref.begin(), ref.end());
+    for (const int threads : {1, 4}) {
+      sort_workspace ws;
+      workspace_pool pool;
+      for (const bool warm : {false, true}) {
+        auto_sort_options opt;
+        opt.workspace = &ws;
+        opt.pool = &pool;
+        opt.num_threads = threads;
+        opt.policy.wide_segment_base_case = 256;
+        auto cont = input;
+        opt.policy.wide_continuation = true;
+        dovetail::sort(std::span<std::string>(cont), opt);
+        auto abl = input;
+        opt.policy.wide_continuation = false;
+        dovetail::sort(std::span<std::string>(abl), opt);
+        ASSERT_EQ(cont, ref) << "continuation n=" << n << " threads="
+                             << threads << " warm=" << warm;
+        ASSERT_EQ(abl, ref) << "ablation n=" << n << " threads=" << threads
+                            << " warm=" << warm;
+      }
+    }
+  }
+}
+
+TEST(StringEngine, SortByKeyRoutesThroughContinuation) {
+  // The SoA entry point takes the same continuation path and keeps the
+  // value array aligned with the stable key permutation.
+  const gen::distribution d{gen::dist_kind::uniform, 300, "Unif-300"};
+  auto keys = gen::generate_lcp_string_keys(d, 20000, 31, 48);
+  std::vector<std::uint32_t> vals(keys.size());
+  for (std::size_t i = 0; i < vals.size(); ++i)
+    vals[i] = static_cast<std::uint32_t>(i);
+  std::vector<index_t> perm(keys.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  std::stable_sort(perm.begin(), perm.end(), [&](index_t a, index_t b) {
+    return keys[a] < keys[b];
+  });
+  const auto kref = keys;
+  sort_workspace ws;
+  sort_stats st;
+  auto_sort_options opt;
+  opt.workspace = &ws;
+  opt.stats = &st;
+  opt.policy.wide_segment_base_case = 64;
+  dovetail::sort_by_key(std::span<std::string>(keys),
+                        std::span<std::uint32_t>(vals), opt);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(keys[i], kref[perm[i]]);
+    ASSERT_EQ(vals[i], static_cast<std::uint32_t>(perm[i]));
+  }
+  EXPECT_EQ(st.wide_tiebreak_fallbacks.load(), 0u);
+  EXPECT_GE(st.wide_continuation_rounds.load(), 1u);
+}

@@ -9,7 +9,8 @@
 //     dispatch sizes (0..50k spans every front-door branch) and across
 //     segment shapes: all-equal word 0, all-distinct word 0 (singleton
 //     segments, zero refinement), heavy duplicates, equal-prefix strings
-//     resolved beyond the 16-byte prefix (embedded NULs included);
+//     resolved beyond the materialized prefix (embedded NULs included;
+//     the adversarial corpus battery lives in test_string_engine.cpp);
 //   * stability — duplicate wide keys keep increasing witness values;
 //   * sort_by_key / rank on wide keys;
 //   * zero-alloc warm reuse — a second identical wide sort performs no
@@ -189,12 +190,30 @@ TEST(WideKeyCodec, WideTupleStraddlesWordBoundaries) {
 }
 
 TEST(WideKeyCodec, StringPrefixIsOrderPreservingCoarsening) {
-  // Big-endian byte packing: the first byte is most significant.
+  // 7+1 packing: 7 content bytes big-endian in the high 56 bits (first
+  // byte most significant), min(7, remaining length) in the low byte.
   EXPECT_EQ(key_codec<std::string>::encode_word(std::string("ab"), 0),
-            0x6162000000000000ull);
+            0x6162000000000002ull);
+  // Word 1 starts at byte 7: "abcdefghi" has 'h','i' left, count 2.
   EXPECT_EQ(key_codec<std::string>::encode_word(std::string("abcdefghi"), 1),
-            0x6900000000000000ull);
+            0x6869000000000002ull);
   EXPECT_EQ(key_codec<std::string>::encode_word(std::string("x"), 1), 0u);
+  // Exactly 7 bytes fills the window: count saturates at 7 and the word
+  // reports "continues" — the next window then shows count 0.
+  const std::uint64_t full =
+      key_codec<std::string>::encode_word(std::string("abcdefg"), 0);
+  EXPECT_EQ(full, 0x6162636465666707ull);
+  EXPECT_TRUE(key_codec<std::string>::word_continues(full));
+  EXPECT_FALSE(key_codec<std::string>::word_continues(
+      key_codec<std::string>::encode_word(std::string("abcdefg"), 0, 7)));
+  // The offset form re-windows the key: offset 7 word 0 == offset 0 word 1.
+  EXPECT_EQ(
+      key_codec<std::string>::encode_word(std::string("abcdefghi"), 0, 7),
+      key_codec<std::string>::encode_word(std::string("abcdefghi"), 1));
+  // A string ending inside a window sorts below any extension: the count
+  // byte breaks the padded-content tie ("abc" < "abc\0" in key order).
+  EXPECT_LT(key_codec<std::string>::encode_word(std::string("abc"), 0),
+            key_codec<std::string>::encode_word(std::string("abc\0", 4), 0));
   // s < t  =>  words(s) <= words(t), across lengths, NULs and prefixes.
   std::vector<std::string> pool = {"",      "a",    std::string("a\0", 2),
                                    "ab",    "abc",  "abcdefgh",
@@ -358,14 +377,16 @@ TEST(WideSort, StringsFullLexicographicOrder) {
 }
 
 TEST(WideSort, StringEdgeCasesBeyondPrefix) {
-  // Ties on the whole 16-byte prefix resolved beyond it, embedded NULs,
-  // strict prefixes, and lengths straddling the word boundary.
+  // Ties on the whole materialized prefix (14 content bytes) resolved
+  // beyond it, embedded NULs, strict prefixes, and lengths straddling the
+  // word boundary.
   std::vector<std::string> s = {
       "", "a", std::string("a\0", 2), std::string("a\0b", 3),
-      "aaaaaaaaaaaaaaaa",      // exactly the prefix
+      "aaaaaaaaaaaaaa",        // exactly the materialized window
+      "aaaaaaaaaaaaaaaa",      // two bytes past it
       "aaaaaaaaaaaaaaaaX",     // beyond-prefix difference...
       "aaaaaaaaaaaaaaaaA",     // ...in both directions
-      "aaaaaaaaaaaaaaaa" + std::string("\0", 1),  // NUL just past prefix
+      "aaaaaaaaaaaaaa" + std::string("\0", 1),  // NUL just past the window
       "aaaaaaab", "aaaaaaa", "zzzz",
   };
   // Replicate with witness duplicates and shuffle deterministically.
@@ -497,4 +518,20 @@ TEST(WideSort, ZeroAllocWarmReuse) {
   dovetail::sort(std::span<std::string>(s), opt);
   EXPECT_EQ(st.workspace_allocations.load(), a1)
       << "warm string sort allocated workspace slabs";
+  // The continuation recursion too: a long-common-prefix corpus with a
+  // tiny base case drives several re-encode rounds through the same
+  // leased tables (serial refine keeps every lease on this workspace, so
+  // the count is deterministic), and a warm repeat must add nothing.
+  opt.policy.wide_segment_base_case = 64;
+  opt.policy.parallel_wide_refine = false;
+  const auto lp = gen::generate_lcp_string_keys(d, 20000, 13, 64);
+  s = lp;
+  dovetail::sort(std::span<std::string>(s), opt);  // warm-up for this shape
+  EXPECT_GE(st.wide_continuation_rounds.load(), 3u);
+  EXPECT_EQ(st.wide_tiebreak_fallbacks.load(), 0u);
+  const std::uint64_t a2 = st.workspace_allocations.load();
+  s = lp;
+  dovetail::sort(std::span<std::string>(s), opt);
+  EXPECT_EQ(st.workspace_allocations.load(), a2)
+      << "warm continuation sort allocated workspace slabs";
 }
