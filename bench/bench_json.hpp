@@ -439,6 +439,13 @@ inline bool parse(const std::string& text, value& out, std::string& err) {
 // open-loop sweep key), and "service-batch" entries must report the load
 // generator's headline stats: "req_per_s", "p50_ms" and "p99_ms"
 // (non-negative, p50_ms <= p99_ms).
+//
+// Query-family addendum: "query-topk" and "query-select" entries must
+// report the full-sort yardstick — non-negative "ms_FullSort" and
+// "speedup_vs_fullsort" stats (the committed BENCH_query.json is the
+// evidence for the rank-pruning acceptance bar) plus the pruning
+// counters "buckets_pruned" / "records_pruned"; "query-groupby" entries
+// must report a non-negative "groups" stat.
 
 inline bool check_number(const value& entry, const std::string& name,
                          const char* field, std::string& err,
@@ -583,6 +590,35 @@ inline bool validate_result_entry(const value& entry, std::string& err,
       }
       if (p50 > p99) {
         err = name + ": service-batch entry: p50_ms exceeds p99_ms";
+        return false;
+      }
+    }
+  }
+  // Query-family contract (scenarios_query.hpp). The top-k / select
+  // families exist to prove selection is cheaper than sorting, so the
+  // full-sort yardstick and the pruning counters are required, not
+  // optional extras; group-by entries must say how many groups they
+  // produced (zero groups would make the byte-identity check vacuous).
+  if (bench_v != nullptr && bench_v->is_string() &&
+      bench_v->as_string().rfind("query", 0) == 0) {
+    const value* stats = entry.find("stats");
+    if (stats == nullptr || !stats->is_object()) {
+      err = name + ": query entry: missing 'stats' object";
+      return false;
+    }
+    const std::string& fam = bench_v->as_string();
+    std::vector<const char*> required;
+    if (fam == "query-topk" || fam == "query-select") {
+      required = {"ms_FullSort", "speedup_vs_fullsort", "buckets_pruned",
+                  "records_pruned"};
+    } else if (fam == "query-groupby") {
+      required = {"groups"};
+    }
+    for (const char* field : required) {
+      const value* v = stats->find(field);
+      if (v == nullptr || !v->is_number() || v->as_number() < 0) {
+        err = name + ": query entry: missing non-negative stat '" +
+              std::string(field) + "'";
         return false;
       }
     }

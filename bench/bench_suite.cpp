@@ -34,6 +34,7 @@
 #include "scenarios_engine.hpp"
 #include "scenarios_matrix.hpp"
 #include "scenarios_parallel.hpp"
+#include "scenarios_query.hpp"
 #include "scenarios_scaling.hpp"
 #include "scenarios_service.hpp"
 #include "scenarios_wide.hpp"
@@ -181,6 +182,7 @@ int main(int argc, char** argv) {
   dtb::register_wide_scenarios(cfg);
   dtb::register_parallel_scenarios(cfg);
   dtb::register_service_scenarios(cfg);
+  dtb::register_query_scenarios(cfg);
 
   std::vector<const dtb::scenario*> selected;
   for (const auto& s : registry.scenarios())
@@ -285,7 +287,10 @@ int main(int argc, char** argv) {
         "the service families (service-batch: the open-loop batched sort "
         "service, request-size mix x concurrency, req/s with p50/p99 "
         "latency; service-stream: chunked streaming ingestion vs the "
-        "one-shot front door). Times "
+        "one-shot front door), and the query families (query-topk/select: "
+        "rank-pruned stable top_k and nth_element vs std::partial_sort / "
+        "std::nth_element and vs paying for the full sort; query-groupby: "
+        "first-class group_by vs stable_sort-then-scan). Times "
         "are medians over the "
         "timed repetitions on a warm workspace; every scenario is "
         "cross-checked (see 'check').",

@@ -100,6 +100,13 @@ inline const std::vector<std::string>& cached_string_input(
   });
 }
 
+inline const std::vector<std::string>& cached_url_string_input(
+    const dovetail::gen::distribution& d, std::size_t n) {
+  return memoize_input(d.name + "/" + std::to_string(n) + "/url", [&] {
+    return dovetail::gen::generate_url_keys(d, n, 1);
+  });
+}
+
 inline const std::vector<std::string>& cached_lcp_string_input(
     const dovetail::gen::distribution& d, std::size_t n, std::size_t lcp) {
   return memoize_input(
@@ -427,6 +434,33 @@ inline void register_wide_string_cell(const run_config& cfg,
   scenario_registry::instance().add(std::move(s));
 }
 
+// wide-str-url: URL-shaped keys — a realistic string workload where every
+// key shares the scheme, most share "://www."-style subdomain prefixes,
+// and the distinguishing bytes (host hash, path segment, 16-hex id) sit
+// at staggered depths, so the 14-byte prefix window, the continuation
+// probe AND the equal-prefix segment machinery all fire on one input.
+inline void register_wide_url_cell(const run_config& cfg,
+                                   const dovetail::gen::distribution& d) {
+  scenario s;
+  s.bench = "wide-str-url";
+  s.name = s.bench + "/" + d.name + "/url";
+  s.paper = "URL-shaped string keys: shared scheme + clustered host "
+            "prefixes push the distinguishing bytes past the radix window";
+  s.row = d.name;
+  s.col = "url";
+  s.labels = {{"dist", d.name},
+              {"algo", "Auto"},
+              {"width", "str"},
+              {"key", "url"},
+              {"threads", std::to_string(cfg.max_threads())}};
+  const std::size_t n = cfg.n;
+  s.run = [d, n](const run_config& rc) {
+    const auto& input = cached_url_string_input(d, n);
+    return run_wide_string_cell(rc, input);
+  };
+  scenario_registry::instance().add(std::move(s));
+}
+
 inline void register_wide_lcp_cell(const run_config& cfg,
                                    const dovetail::gen::distribution& d,
                                    std::size_t lcp) {
@@ -465,6 +499,12 @@ inline void register_wide_scenarios(const run_config& cfg) {
     register_wide_pair_cell(cfg, d, 16);
     register_wide_string_cell(cfg, d);
   }
+  // URL-shaped keys (generators/synthetic.hpp generate_url_keys): the
+  // realistic mixed-depth string row next to the synthetic families.
+  register_wide_url_cell(
+      cfg, {dovetail::gen::dist_kind::uniform, 1e7, "Unif-1e7"});
+  register_wide_url_cell(
+      cfg, {dovetail::gen::dist_kind::zipfian, 1.2, "Zipf-1.2"});
   // The deep-refinement column: 16 giant equal-prefix segments, so the
   // word-1 rounds go back through the radix front door.
   register_wide_u128_cell(

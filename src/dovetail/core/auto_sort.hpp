@@ -239,6 +239,16 @@ struct dispatch_policy {
   // parallel ACROSS segments — wins on every wide BENCH_wide.json
   // instance.
   std::size_t wide_segment_base_case = std::size_t{1} << 15;
+  // Order-statistics queries (core/order_stats.hpp) only: a rank-window
+  // segment at or below this size finishes with one stable comparison
+  // sort instead of another pruned distribution pass. Smaller than
+  // wide_segment_base_case on purpose: a selection segment that recurses
+  // gets to PRUNE most of its buckets (the next pass touches only the
+  // window straddlers), so another distribution pass stays profitable on
+  // segments far below the size where a full-sort refinement would give
+  // up — the query-topk bench family is the evidence, same recipe as
+  // every threshold here (docs/TUNING.md).
+  std::size_t select_base_case = std::size_t{1} << 11;
   // Wide keys only: refine large equal-prefix segments CONCURRENTLY, each
   // in-flight sort on its own workspace_pool arena (wide_sort.hpp). Off =
   // the pre-pool behaviour (segments re-enter the front door one at a

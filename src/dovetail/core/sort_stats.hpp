@@ -105,6 +105,19 @@ struct sort_stats {
   std::atomic<std::uint64_t> wide_continuation_segments{0};
   std::atomic<std::uint64_t> wide_max_byte_offset{0};
   std::atomic<std::uint64_t> wide_tiebreak_fallbacks{0};
+  // Order-statistics queries (order_stats.hpp / group_by.hpp). query_kind
+  // is a snapshot like chosen_kernel: 1 + static_cast<int>(query_kind) of
+  // the last query entry point that ran through this stats object (0 = no
+  // query recorded; decode with query_kind_of() in order_stats.hpp).
+  // buckets_pruned / records_pruned are CUMULATIVE, like the engine
+  // counters: buckets the rank-window selection driver proved wholly
+  // outside every requested window after a distribution pass — and the
+  // records inside them — which therefore skipped all further refinement.
+  // A full sort never bumps them; a top-k with k << n prunes almost
+  // everything (the bench_suite query-topk family records the ratio).
+  std::atomic<std::uint64_t> query_kind{0};
+  std::atomic<std::uint64_t> buckets_pruned{0};
+  std::atomic<std::uint64_t> records_pruned{0};
   // Parallelism snapshots (last-write-wins like chosen_kernel): the worker
   // count the dispatcher decided to run the kernel under (1 = it chose the
   // serial path, e.g. n below dispatch_policy::parallel_crossover_n) and
@@ -196,6 +209,9 @@ struct sort_stats {
     wide_continuation_segments = 0;
     wide_max_byte_offset = 0;
     wide_tiebreak_fallbacks = 0;
+    query_kind = 0;
+    buckets_pruned = 0;
+    records_pruned = 0;
     chosen_parallelism = 0;
     effective_workers = 0;
     service_requests = 0;

@@ -14,6 +14,12 @@
 #include "dovetail/core/sort_service.hpp"
 #include "dovetail/core/stream_sort.hpp"
 
+// Layer 4½ — order-statistics & grouped queries (rank-pruned top_k /
+// nth_element / partial_sort / percentiles, group_by over the typed
+// codec API).
+#include "dovetail/core/group_by.hpp"
+#include "dovetail/core/order_stats.hpp"
+
 // Layer 4 — adaptive front door + typed keys (wide multi-word keys
 // included; wide_sort.hpp rides in with auto_sort.hpp).
 #include "dovetail/core/auto_sort.hpp"

@@ -461,4 +461,54 @@ inline std::vector<std::string> generate_lcp_string_keys(
   return out;
 }
 
+// Realistic URL corpus — scheme://host/path keys whose shared-prefix
+// structure comes from the DATA rather than a synthetic constant prefix
+// (generate_lcp_string_keys): every key starts with one of two schemes
+// (word 0 of the prefix codec is nearly constant across the corpus), the
+// host is drawn from `num_hosts` names with the distribution's frequency
+// skew (a hot host under Zipf puts thousands of keys behind one ~30-byte
+// shared prefix — the natural LCP-group shape of real web logs), the
+// path opens with vocabulary segments (/v1/users/...) and ends in 16 hex
+// digits of the u64 frequency stream plus a resource suffix. Equal
+// stream values yield equal URLs and distinct values distinct URLs, so
+// the distribution's duplicate structure carries over exactly, like
+// every generator above. Lengths mix via the suffix. This is the input
+// of the wide-str-url bench row (scenarios_wide.hpp).
+inline std::vector<std::string> generate_url_keys(const distribution& d,
+                                                  std::size_t n,
+                                                  std::uint64_t seed = 1,
+                                                  std::size_t num_hosts = 512) {
+  static constexpr std::string_view kSubs[] = {"www", "api", "cdn", "img"};
+  static constexpr std::string_view kSegs[] = {"users",  "items", "orders",
+                                               "assets", "feed",  "search",
+                                               "docs",   "static"};
+  static constexpr std::string_view kSuffix[] = {"", ".json", ".html", "/"};
+  if (num_hosts == 0) num_hosts = 1;
+  std::vector<std::string> out(n);
+  par::parallel_for(0, n, [&](std::size_t i) {
+    constexpr char hexd[] = "0123456789abcdef";
+    const std::uint64_t u = make_key(d, seed, i, n, 64);
+    // Every field below is a pure function of u (and the fixed seed), so
+    // the whole URL is too — duplicates collapse, distinct keys stay
+    // distinct via the hex id.
+    const std::uint64_t h = par::hash64(u ^ (seed + 0x02bull));
+    const std::uint64_t host = h % num_hosts;
+    std::string& s = out[i];
+    s.reserve(80);
+    s += ((h >> 61) & 7) == 0 ? "http://" : "https://";
+    s += kSubs[(host >> 7) & 3];
+    s += '-';
+    for (int sh = 12; sh >= 0; sh -= 4)
+      s += hexd[(host >> sh) & 0xF];
+    s += ".example.com/v";
+    s += static_cast<char>('1' + ((h >> 9) & 1));
+    s += '/';
+    s += kSegs[(h >> 32) & 7];
+    s += '/';
+    for (int sh = 60; sh >= 0; sh -= 4) s += hexd[(u >> sh) & 0xF];
+    s += kSuffix[(h >> 34) & 3];
+  });
+  return out;
+}
+
 }  // namespace dovetail::gen

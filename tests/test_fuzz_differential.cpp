@@ -23,6 +23,7 @@
 
 #include "dovetail/core/auto_sort.hpp"
 #include "dovetail/core/dovetail_sort.hpp"
+#include "dovetail/core/order_stats.hpp"
 #include "dovetail/core/stream_sort.hpp"
 #include "dovetail/parallel/random.hpp"
 #include "dovetail/util/record.hpp"
@@ -332,6 +333,75 @@ TEST_P(FuzzDifferentialStream, MatchesStableSortAndOneShot) {
                            return a.key == b.key && a.value == b.value;
                          }))
       << "seed=" << seed;
+}
+
+// ---------------------------------------------------------------------------
+// Query arm: the rank-window selection driver (order_stats.hpp) over the
+// same mixed fuzz inputs. Each seed draws a query shape — top-k of either
+// side, nth_element, partial_sort — plus a random select_base_case, and
+// demands the result windows match the std::stable_sort reference byte
+// for byte (keys AND the index values, so stability at the window
+// boundary is checked, not just key order).
+
+class FuzzDifferentialQuery : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferentialQuery,
+                         ::testing::Range(0, 24));
+
+TEST_P(FuzzDifferentialQuery, WindowsMatchStableSortSlices) {
+  const auto seed = static_cast<std::uint64_t>(11000 + GetParam());
+  const auto input = build_mixed_input(seed);
+  const std::size_t n = input.size();
+  auto ref = input;
+  std::stable_sort(ref.begin(), ref.end(), [](const kv32& a, const kv32& b) {
+    return a.key < b.key;
+  });
+  sort_workspace ws;
+  auto_sort_options opt;
+  opt.workspace = &ws;
+  // Odd seeds shrink the selection base case so pruned recursion goes
+  // several digit levels deep; a third of the seeds cap parallelism.
+  if (seed % 2 == 1)
+    opt.policy.select_base_case = std::size_t{1}
+                                  << par::rand_range(seed, 31, 8);  // 1..128
+  if (seed % 3 == 0) opt.num_threads = (seed % 6 == 0) ? 4 : 1;
+  const std::size_t k = 1 + par::rand_range(seed, 32, n);  // 1..n
+  {
+    auto v = input;
+    const auto out = top_k(std::span<kv32>(v), k, key_of_kv32,
+                           rank_side::smallest, opt);
+    ASSERT_EQ(out.size(), k);
+    for (std::size_t i = 0; i < k; ++i) {
+      ASSERT_EQ(out[i].key, ref[i].key) << "seed=" << seed << " i=" << i;
+      ASSERT_EQ(out[i].value, ref[i].value)
+          << "stability broken; seed=" << seed << " i=" << i;
+    }
+  }
+  {
+    auto v = input;
+    const auto out = top_k(std::span<kv32>(v), k, key_of_kv32,
+                           rank_side::largest, opt);
+    for (std::size_t i = 0; i < k; ++i) {
+      ASSERT_EQ(out[i].key, ref[n - k + i].key) << "seed=" << seed;
+      ASSERT_EQ(out[i].value, ref[n - k + i].value) << "seed=" << seed;
+    }
+  }
+  {
+    const std::size_t nth = par::rand_range(seed, 33, n);
+    auto v = input;
+    const kv32& r = dovetail::nth_element(std::span<kv32>(v), nth,
+                                          key_of_kv32, opt);
+    ASSERT_EQ(r.key, ref[nth].key) << "seed=" << seed << " nth=" << nth;
+    ASSERT_EQ(r.value, ref[nth].value) << "seed=" << seed << " nth=" << nth;
+  }
+  {
+    const std::size_t m = par::rand_range(seed, 34, n + 1);
+    auto v = input;
+    dovetail::partial_sort(std::span<kv32>(v), m, key_of_kv32, opt);
+    for (std::size_t i = 0; i < m; ++i) {
+      ASSERT_EQ(v[i].key, ref[i].key) << "seed=" << seed << " i=" << i;
+      ASSERT_EQ(v[i].value, ref[i].value) << "seed=" << seed << " i=" << i;
+    }
+  }
 }
 
 TEST(FuzzDifferential64, MixedInputs64Bit) {

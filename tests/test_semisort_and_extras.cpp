@@ -78,6 +78,30 @@ TEST(Semisort, EmptyAndSingleton) {
   EXPECT_EQ(v[0].key, 7u);
 }
 
+// group_offsets edge shapes — the boundary cases group_by builds on.
+TEST(Semisort, GroupOffsetsEmptyInput) {
+  const std::vector<kv32> v;
+  const auto offs = group_offsets(std::span<const kv32>(v), key_of_kv32);
+  // Empty input: only the terminator — zero groups, offs.size() - 1 == 0.
+  EXPECT_EQ(offs, std::vector<std::size_t>{0});
+}
+
+TEST(Semisort, GroupOffsetsSingleGroup) {
+  const std::vector<kv32> v(1234, kv32{42, 0});
+  const auto offs = group_offsets(std::span<const kv32>(v), key_of_kv32);
+  EXPECT_EQ(offs, (std::vector<std::size_t>{0, 1234}));
+}
+
+TEST(Semisort, GroupOffsetsAllSingletons) {
+  std::vector<kv32> v(1000);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = {static_cast<std::uint32_t>(i * 7 + 1),
+            static_cast<std::uint32_t>(i)};
+  const auto offs = group_offsets(std::span<const kv32>(v), key_of_kv32);
+  ASSERT_EQ(offs.size(), v.size() + 1);
+  for (std::size_t i = 0; i <= v.size(); ++i) ASSERT_EQ(offs[i], i);
+}
+
 // ---------------------------------------------------------------------------
 // Unstable counting sort (Appendix B / Thm 4.1 primitive)
 
