@@ -32,6 +32,7 @@
 #include "scenarios_auto.hpp"
 #include "scenarios_codec.hpp"
 #include "scenarios_engine.hpp"
+#include "scenarios_inplace.hpp"
 #include "scenarios_matrix.hpp"
 #include "scenarios_parallel.hpp"
 #include "scenarios_query.hpp"
@@ -183,6 +184,7 @@ int main(int argc, char** argv) {
   dtb::register_parallel_scenarios(cfg);
   dtb::register_service_scenarios(cfg);
   dtb::register_query_scenarios(cfg);
+  dtb::register_inplace_scenarios(cfg);
 
   std::vector<const dtb::scenario*> selected;
   for (const auto& s : registry.scenarios())
@@ -290,7 +292,10 @@ int main(int argc, char** argv) {
         "one-shot front door), and the query families (query-topk/select: "
         "rank-pruned stable top_k and nth_element vs std::partial_sort / "
         "std::nth_element and vs paying for the full sort; query-groupby: "
-        "first-class group_by vs stable_sort-then-scan). Times "
+        "first-class group_by vs stable_sort-then-scan), and the in-place "
+        "families (inplace-32/64: the block-permutation kernel vs the "
+        "engine's out-of-place pick vs the American-flag baseline, with "
+        "peak leased workspace reported per variant). Times "
         "are medians over the "
         "timed repetitions on a warm workspace; every scenario is "
         "cross-checked (see 'check').",

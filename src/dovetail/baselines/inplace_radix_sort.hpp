@@ -19,6 +19,7 @@
 #include <type_traits>
 
 #include "dovetail/core/distribute.hpp"
+#include "dovetail/core/sort_stats.hpp"
 #include "dovetail/core/workspace.hpp"
 #include "dovetail/parallel/parallel_for.hpp"
 #include "dovetail/parallel/primitives.hpp"
@@ -41,6 +42,8 @@ void inplace_radix_rec(std::span<Rec> a, const KeyFn& key, int bits,
   const std::size_t n = a.size();
   if (n <= 1 || bits == 0) return;
   if (n <= opt.base_case) {
+    if (opt.stats != nullptr)
+      opt.stats->base_case_records.fetch_add(n, std::memory_order_relaxed);
     std::sort(a.begin(), a.end(), [&](const Rec& x, const Rec& y) {
       return key(x) < key(y);
     });
@@ -73,6 +76,13 @@ void inplace_radix_rec(std::span<Rec> a, const KeyFn& key, int bits,
   start[0] = 0;
   for (std::size_t z = 0; z < zones; ++z) start[z + 1] = start[z] + counts[z];
   for (std::size_t z = 0; z < zones; ++z) next[z] = start[z];
+  // Same accounting as the engine's distribution passes (and the modern
+  // in-place kernel): one in-place pass classifies and permutes n records.
+  if (sort_stats* st = opt.stats; st != nullptr) {
+    st->inplace_passes.fetch_add(1, std::memory_order_relaxed);
+    st->num_distributions.fetch_add(1, std::memory_order_relaxed);
+    st->distributed_records.fetch_add(n, std::memory_order_relaxed);
+  }
 
   for (std::size_t z = 0; z < zones; ++z) {
     while (next[z] < start[z + 1]) {

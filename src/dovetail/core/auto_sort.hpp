@@ -77,6 +77,7 @@
 #include "dovetail/baselines/lsd_radix_sort.hpp"
 #include "dovetail/core/distribute.hpp"
 #include "dovetail/core/dovetail_sort.hpp"
+#include "dovetail/core/inplace_sort.hpp"
 #include "dovetail/core/input_sketch.hpp"
 #include "dovetail/core/key_codec.hpp"
 #include "dovetail/core/sort_options.hpp"
@@ -94,9 +95,15 @@ enum class sort_kernel : std::uint8_t {
   counting,
   lsd,
   dtsort,
+  // In-place block-permutation MSD radix (core/inplace_sort.hpp): O(n)
+  // ping-pong buffer replaced by O(buckets * block) scratch. UNSTABLE —
+  // auto-chosen only under a memory budget when instability is
+  // unobservable (pure-key records) or permitted (stability::relaxed);
+  // policy::always(inplace) demands the same safety or throws.
+  inplace,
 };
 
-inline constexpr int kNumSortKernels = 5;
+inline constexpr int kNumSortKernels = 6;
 
 inline const char* kernel_name(sort_kernel k) {
   switch (k) {
@@ -105,6 +112,7 @@ inline const char* kernel_name(sort_kernel k) {
     case sort_kernel::counting: return "Counting";
     case sort_kernel::lsd: return "LSD";
     case sort_kernel::dtsort: return "DTSort";
+    case sort_kernel::inplace: return "InPlace";
   }
   return "?";
 }
@@ -181,6 +189,20 @@ struct dispatch_policy {
   // std::stable_sort 4.5us at n=512, and 2x ahead by n=1024), so this only
   // guards the regime where sketching + workspace setup are not worth it.
   std::size_t serial_threshold = 512;
+  // The stability contract (sort_options.hpp): strict keeps every
+  // auto-chosen kernel stable; relaxed certifies the caller cannot observe
+  // the order of equal records, unlocking the unstable in-place kernel for
+  // the memory-budget rule below and for policy::always(inplace) on
+  // payload-carrying records. Pure-key records (detected from the key
+  // functor, input_sketch::pure_key_records) never need relaxed.
+  stability stability_mode = stability::strict;
+  // Peak extra workspace the caller will tolerate, in bytes; 0 = no budget.
+  // When the out-of-place kernels' O(n) record ping-pong lease
+  // (n * sizeof(record)) would exceed this AND instability is safe (pure
+  // keys or relaxed), the dispatcher routes to the in-place kernel, whose
+  // scratch is O(2^gamma * block) — see core/inplace_sort.hpp and
+  // sort_stats::peak_workspace_bytes for the measured high-water mark.
+  std::size_t memory_budget_bytes = 0;
   // Try the run-merge kernel when no sampled adjacent pair descends (or
   // none ascends — reverse-sorted). Confirmed by an exact run scan; inputs
   // with more than run_merge_max_runs(n) runs fall through to the radix
@@ -279,6 +301,17 @@ struct dispatch_policy {
     if (s.n <= serial_threshold && allowed(sort_kernel::std_sort)) {
       p.kernel = sort_kernel::std_sort;
       p.reason = "n below serial threshold";
+    } else if (memory_budget_bytes != 0 && s.record_bytes != 0 &&
+               (s.pure_key_records ||
+                stability_mode == stability::relaxed) &&
+               s.n * s.record_bytes > memory_budget_bytes &&
+               allowed(sort_kernel::inplace)) {
+      // The budget rule outranks every data-driven rule below: when the
+      // O(n) ping-pong lease is off the table, only the in-place kernel
+      // fits, and it is safe here (pure keys or an explicit relaxed
+      // contract).
+      p.kernel = sort_kernel::inplace;
+      p.reason = "ping-pong lease exceeds memory budget";
     } else if ((s.maybe_sorted() || s.maybe_reverse_sorted()) &&
                allowed(sort_kernel::run_merge)) {
       p.kernel = sort_kernel::run_merge;
@@ -537,8 +570,13 @@ sort_kernel sort_unsigned(std::span<Rec> data, const KeyFn& key,
         static_cast<std::uint64_t>(par::effective_workers()),
         std::memory_order_relaxed);
 
-  const input_sketch sk =
+  input_sketch sk =
       sketch_input(std::span<const Rec>(data.data(), n), key, opt.sketch);
+  // Type-level facts the sampling pass cannot know: the record footprint
+  // (drives the memory-budget rule) and whether equal encoded keys imply
+  // byte-identical records (makes the unstable in-place kernel safe).
+  sk.record_bytes = sizeof(Rec);
+  sk.pure_key_records = is_pure_key_fn_v<KeyFn>;
   if (st != nullptr) {
     const auto permille = [](std::size_t part, std::size_t whole) {
       return whole == 0 ? std::uint64_t{0}
@@ -664,6 +702,26 @@ sort_kernel sort_unsigned(std::span<Rec> data, const KeyFn& key,
         dopt.workspace = &ws;
         dopt.stats = st;
         dovetail_sort(data, key, dopt);
+        return plan.kernel;
+      }
+
+      case sort_kernel::inplace: {
+        // Unstable kernel: reachable only when instability is unobservable
+        // (pure-key records) or explicitly permitted. The auto rule already
+        // guarantees this; a pinned policy::always(inplace) must prove it
+        // here.
+        if (!sk.pure_key_records &&
+            opt.policy.stability_mode != stability::relaxed)
+          throw std::invalid_argument(
+              "dovetail::sort: policy::always(inplace) on records that "
+              "carry payload needs dispatch_policy::stability_mode = "
+              "stability::relaxed (the kernel is unstable)");
+        record_choice(plan);
+        inplace_sort_options iopt;
+        if (plan.gamma > 0) iopt.gamma = plan.gamma;
+        iopt.workspace = &ws;
+        iopt.stats = st;
+        inplace_sort(data, key, iopt);
         return plan.kernel;
       }
     }
@@ -847,9 +905,12 @@ sort_kernel sort(std::span<Rec> data, const KeyFn& key,
       if constexpr (traits::identity) {
         return detail::sort_unsigned(data, key, opt);
       } else {
+        // The named wrapper (not a lambda) keeps the purity of the inner
+        // functor visible to the dispatcher: encoded_key_fn over a
+        // pure-key functor is itself pure-key (is_pure_key_fn_v), which is
+        // what lets plain signed/float spans use the in-place kernel.
         return detail::sort_unsigned(
-            data, [&key](const Rec& r) { return codec::encode(key(r)); },
-            opt);
+            data, encoded_key_fn<codec, KeyFn>{key}, opt);
       }
     } else {
       // Encode once, sort (encoded, index) pairs, gather the records —
@@ -881,7 +942,10 @@ sort_kernel sort(std::span<Rec> data, const KeyFn& key,
 template <typename K>
   requires any_sortable_key<K>
 sort_kernel sort(std::span<K> data, const auto_sort_options& opt = {}) {
-  return sort(data, [](const K& k) -> const K& { return k; }, opt);
+  // self_key (key_codec.hpp) rather than an identity lambda: the named
+  // functor is recognizable as pure-key, marking these spans safe for the
+  // unstable in-place kernel (equal keys are byte-identical records).
+  return sort(data, self_key{}, opt);
 }
 
 // Sort parallel key/value arrays (SoA): stably sort `keys` in place by

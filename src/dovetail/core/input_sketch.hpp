@@ -58,6 +58,16 @@ struct sketch_options {
 struct input_sketch {
   std::size_t n = 0;
 
+  // --- record/key-functor facts (filled by the dispatcher, not by
+  // sketch_input: they come from the types, not the data) ---
+  std::size_t record_bytes = 0;  // sizeof(record); 0 = not filled
+  // Equal encoded keys imply byte-identical records (the key functor is a
+  // pure-key functor per is_pure_key_fn_v in key_codec.hpp — e.g. a plain
+  // unsigned/signed/float span sorted by itself). When true the unstable
+  // in-place kernel is indistinguishable from a stable one, so the
+  // dispatcher may select it without stability::relaxed.
+  bool pure_key_records = false;
+
   // --- key-sample statistics ---
   std::size_t num_samples = 0;
   std::uint64_t min_sample = 0;

@@ -287,6 +287,50 @@ struct codec_traits {
 };
 
 // ---------------------------------------------------------------------------
+// Pure-key record detection (the record-triviality bit the dispatcher feeds
+// input_sketch). A record set is "pure-key" when equal sort keys imply
+// byte-identical records, which makes instability unobservable and the
+// unstable in-place kernel (inplace_sort.hpp) safe to auto-select. That
+// cannot be introspected out of an arbitrary key lambda, so the convenience
+// entry points name their key functors:
+//   * self_key        — the record IS the key (sort(span<K>) overloads);
+//   * encoded_key_fn  — the fused path's encode wrapper; pure iff its inner
+//     functor is. Built-in single-word codecs are bijections on the key's
+//     value representation (sign flip, IEEE total-order flip, identity), so
+//     equal encodings imply bit-identical keys — and with self_key inside,
+//     bit-identical records.
+// Everything else (records with payload fields, user lambdas, the
+// encode-once (key, rank) pairs) stays non-pure and keeps the strict-
+// stability kernels unless the caller opts into stability::relaxed.
+struct self_key {
+  template <typename K>
+  const K& operator()(const K& k) const noexcept {
+    return k;
+  }
+};
+
+template <typename Codec, typename Inner>
+struct encoded_key_fn {
+  const Inner& inner;
+  template <typename Rec>
+  auto operator()(const Rec& r) const {
+    return Codec::encode(inner(r));
+  }
+};
+
+template <typename F>
+struct is_pure_key_fn : std::false_type {};
+template <>
+struct is_pure_key_fn<self_key> : std::true_type {};
+template <typename Codec, typename Inner>
+struct is_pure_key_fn<encoded_key_fn<Codec, Inner>>
+    : is_pure_key_fn<std::remove_cvref_t<Inner>> {};
+
+template <typename F>
+inline constexpr bool is_pure_key_fn_v =
+    is_pure_key_fn<std::remove_cvref_t<F>>::value;
+
+// ---------------------------------------------------------------------------
 // Wide (multi-word) detection + the uniform word view.
 
 // A key whose codec has the multi-word form (see the header comment).

@@ -33,6 +33,24 @@ enum class scatter_strategy : std::uint8_t {
   unstable,
 };
 
+// The stability contract a caller demands from the adaptive front door
+// (dispatch_policy::stability_mode in auto_sort.hpp):
+//   strict  — every auto-chosen kernel preserves input order of equal keys
+//             (the default; all five classic kernels qualify).
+//   relaxed — the caller certifies it cannot observe the order of equal
+//             records, unlocking the unstable in-place kernel
+//             (core/inplace_sort.hpp) for auto-dispatch under a memory
+//             budget and for policy::always(sort_kernel::inplace) pinning
+//             on records that carry payload. Pure-key records (equal keys
+//             => byte-identical records, e.g. plain unsigned/signed/float
+//             spans) never need it: instability is unobservable there and
+//             the dispatcher proves it via the codec traits
+//             (is_pure_key_fn_v in key_codec.hpp).
+enum class stability : std::uint8_t {
+  strict,
+  relaxed,
+};
+
 // Tuning knobs for dovetail_sort/semisort. All combinations preserve the
 // stability guarantee (equal keys keep input order) and the O(n sqrt(log r))
 // work bound, except where a knob's comment says otherwise (the ablation

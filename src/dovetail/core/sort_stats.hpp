@@ -57,6 +57,18 @@ struct sort_stats {
   std::atomic<std::uint64_t> scatter_direct_calls{0};
   std::atomic<std::uint64_t> scatter_buffered_calls{0};
   std::atomic<std::uint64_t> scatter_unstable_calls{0};
+  // In-place permutation passes executed (one per MSD node that ran the
+  // block-permutation or flag kernel — inplace_sort.hpp and the
+  // inplace-legacy baseline both bump it). Cumulative.
+  std::atomic<std::uint64_t> inplace_passes{0};
+  // High-water mark of workspace bytes simultaneously checked out (leased
+  // slabs + the record-buffer arena), sampled at every lease point and
+  // maxed via note_peak_workspace(). The out-of-place ping-pong path holds
+  // >= n * sizeof(Rec) here; the in-place kernel's bound is
+  // O(buckets * block) — the memory claim of ISSUE 10, asserted by
+  // tests/test_inplace_sort.cpp. Monotone within a stats window; read it
+  // with peak_workspace() and clear with reset().
+  std::atomic<std::uint64_t> peak_workspace_bytes{0};
 
   // --- Adaptive front door (auto_sort.hpp / input_sketch.hpp) ---
   // Unlike the cumulative counters above these are last-write-wins
@@ -193,6 +205,8 @@ struct sort_stats {
     scatter_direct_calls = 0;
     scatter_buffered_calls = 0;
     scatter_unstable_calls = 0;
+    inplace_passes = 0;
+    peak_workspace_bytes = 0;
     chosen_kernel = 0;
     sketch_key_bits = 0;
     sketch_distinct_permille = 0;
@@ -228,6 +242,21 @@ struct sort_stats {
     while (cur < d && !max_depth.compare_exchange_weak(
                           cur, d, std::memory_order_relaxed)) {
     }
+  }
+
+  // CAS-max, like note_depth: called by the workspace at every lease point
+  // with its current outstanding-bytes figure.
+  void note_peak_workspace(std::uint64_t bytes) {
+    std::uint64_t cur = peak_workspace_bytes.load(std::memory_order_relaxed);
+    while (cur < bytes &&
+           !peak_workspace_bytes.compare_exchange_weak(
+               cur, bytes, std::memory_order_relaxed)) {
+    }
+  }
+
+  // Decoder for the high-water counter (bytes; 0 = nothing leased yet).
+  [[nodiscard]] std::uint64_t peak_workspace() const {
+    return peak_workspace_bytes.load(std::memory_order_relaxed);
   }
 };
 

@@ -75,6 +75,7 @@
 #include "dovetail/core/sort_stats.hpp"
 #include "dovetail/core/workspace.hpp"
 #include "dovetail/parallel/parallel_for.hpp"
+#include "dovetail/util/simd.hpp"
 
 namespace dovetail {
 
@@ -98,6 +99,12 @@ struct wide_seg {
 template <typename Rec, typename Less>
 void stable_segment_sort(std::span<Rec> a, const Less& less) {
   if (a.size() <= 32) {
+    // Tiniest segments first try the branchless fixed-comparator network
+    // (util/simd.hpp): same stable permutation as the insertion sort,
+    // byte-identical output, no data-dependent branches.
+    if constexpr (std::is_trivially_copyable_v<Rec>) {
+      if (simd::stable_network_sort(a, less)) return;
+    }
     for (std::size_t i = 1; i < a.size(); ++i) {
       Rec x = std::move(a[i]);
       std::size_t j = i;

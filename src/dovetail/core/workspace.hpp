@@ -162,6 +162,9 @@ class sort_workspace {
       p = detail::make_slab(cap).release();
       note_alloc(cap, stats);
     }
+    note_outstanding(
+        outstanding_bytes_.fetch_add(cap, std::memory_order_relaxed) + cap,
+        stats);
     return lease(this, p, cap, cls);
   }
 
@@ -189,11 +192,18 @@ class sort_workspace {
     if (need > arena_capacity_) {
       const std::size_t cap = next_pow2(std::max(need, detail::kMinSlabBytes));
       arena_ = detail::make_slab(cap);  // old arena (if any) freed here
+      outstanding_bytes_.fetch_add(cap - arena_capacity_,
+                                   std::memory_order_relaxed);
       arena_capacity_ = cap;
       note_alloc(cap, stats);
     } else if (n > 0) {
       note_reuse(stats);
     }
+    // The arena counts as outstanding for the whole workspace lifetime
+    // (until trim()), so warm reuse still records the true footprint.
+    if (n > 0)
+      note_outstanding(outstanding_bytes_.load(std::memory_order_relaxed),
+                       stats);
     return {reinterpret_cast<Rec*>(arena_.get()), n};
   }
 
@@ -203,6 +213,7 @@ class sort_workspace {
     std::lock_guard<std::mutex> g(mu_);
     for (auto& bin : free_) bin.clear();
     arena_.reset();
+    outstanding_bytes_.fetch_sub(arena_capacity_, std::memory_order_relaxed);
     arena_capacity_ = 0;
   }
 
@@ -216,12 +227,20 @@ class sort_workspace {
   [[nodiscard]] std::uint64_t allocated_bytes() const noexcept {
     return allocated_bytes_.load(std::memory_order_relaxed);
   }
+  // Bytes currently checked out (leased slab capacities + the record
+  // arena). The instantaneous figure behind
+  // sort_stats::peak_workspace_bytes; freelisted slabs do not count.
+  [[nodiscard]] std::size_t outstanding_bytes() const noexcept {
+    return outstanding_bytes_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class lease;
 
   void return_slab(std::byte* p, int cls) noexcept {
     detail::slab_ptr slab(p);
+    outstanding_bytes_.fetch_sub(std::size_t{1} << cls,
+                                 std::memory_order_relaxed);
     std::lock_guard<std::mutex> g(mu_);
     try {
       free_[cls].push_back(std::move(slab));
@@ -245,6 +264,9 @@ class sort_workspace {
     if (stats != nullptr)
       stats->workspace_reuses.fetch_add(1, std::memory_order_relaxed);
   }
+  void note_outstanding(std::size_t now, sort_stats* stats) noexcept {
+    if (stats != nullptr) stats->note_peak_workspace(now);
+  }
 
   std::mutex mu_;
   std::vector<detail::slab_ptr> free_[detail::kNumSizeClasses];
@@ -253,6 +275,7 @@ class sort_workspace {
   std::atomic<std::uint64_t> allocations_{0};
   std::atomic<std::uint64_t> reuses_{0};
   std::atomic<std::uint64_t> allocated_bytes_{0};
+  std::atomic<std::size_t> outstanding_bytes_{0};
 };
 
 // ---------------------------------------------------------------------------

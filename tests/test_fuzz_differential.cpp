@@ -424,3 +424,69 @@ TEST(FuzzDifferential64, MixedInputs64Bit) {
     }
   }
 }
+
+// --- in-place arm ----------------------------------------------------------
+// The unstable block-permutation kernel (core/inplace_sort.hpp) under the
+// same mixed inputs and seed discipline. The contract is weaker than the
+// stable arms' byte-identity, and the checks match it exactly:
+//   * records with payload: the output is a permutation of the input whose
+//     key sequence is IDENTICAL to the stable reference's (sortedness with
+//     exact multiplicities), and no (key, value) pair is lost;
+//   * pure keys: the sorted sequence is unique, so the output must be
+//     byte-identical to the reference after all.
+class FuzzDifferentialInplace : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferentialInplace,
+                         ::testing::Range(0, 24));
+
+TEST_P(FuzzDifferentialInplace, PermutationWithReferenceKeySequence) {
+  const auto seed = static_cast<std::uint64_t>(9000 + GetParam());
+  auto v = build_mixed_input(seed);
+  auto ref = v;
+  std::stable_sort(ref.begin(), ref.end(), [](const kv32& a, const kv32& b) {
+    return a.key < b.key;
+  });
+
+  // Randomized-but-valid kernel parameters, reproducible from the seed.
+  inplace_sort_options iopt;
+  iopt.gamma = static_cast<int>(2 + par::rand_range(seed, 21, 11));  // 2..12
+  iopt.base_case = std::size_t{1} << par::rand_range(seed, 22, 15);
+  iopt.block_bytes = std::size_t{256} << par::rand_range(seed, 23, 5);
+  inplace_sort(std::span<kv32>(v), key_of_kv32, iopt);
+
+  ASSERT_EQ(v.size(), ref.size());
+  std::uint64_t h_got = 0;
+  std::uint64_t h_ref = 0;
+  const auto mix = [](const kv32& r) {
+    std::uint64_t x =
+        (std::uint64_t{r.key} << 32) | (r.value ^ 0x9E3779B9u);
+    x *= 0xFF51AFD7ED558CCDull;
+    x ^= x >> 33;
+    return x;
+  };
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    ASSERT_EQ(v[i].key, ref[i].key)
+        << "key sequence diverges; seed=" << seed << " i=" << i
+        << " gamma=" << iopt.gamma << " base=" << iopt.base_case
+        << " blk=" << iopt.block_bytes;
+    h_got += mix(v[i]);
+    h_ref += mix(ref[i]);
+  }
+  // Same (key, value) multiset: the permutation lost or duplicated nothing.
+  ASSERT_EQ(h_got, h_ref) << "record multiset changed; seed=" << seed;
+}
+
+TEST_P(FuzzDifferentialInplace, PureKeysByteIdenticalToReference) {
+  const auto seed = static_cast<std::uint64_t>(9100 + GetParam());
+  const auto input = build_mixed_input(seed);
+  std::vector<std::uint32_t> keys(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) keys[i] = input[i].key;
+  std::vector<std::uint32_t> ref = keys;
+  std::sort(ref.begin(), ref.end());
+
+  // Through the front door: pure keys need no stability::relaxed.
+  auto_sort_options opt;
+  opt.policy = policy::always(sort_kernel::inplace);
+  ASSERT_EQ(dovetail::sort(std::span<std::uint32_t>(keys), opt),
+            sort_kernel::inplace);
+  ASSERT_EQ(keys, ref) << "seed=" << seed;
+}
